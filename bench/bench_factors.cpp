@@ -1,0 +1,150 @@
+// Sec. 4.1 ablation — "Factors of influence for DM footprint": the paper
+// splits footprint into (1) organization overhead (block fields +
+// assisting pool structures) and (2) fragmentation waste (internal +
+// external).  This bench decomposes the custom manager's footprint *at
+// its peak moment* for design variants that toggle exactly one category,
+// quantifying each factor the way Sec. 4.1 argues qualitatively:
+//   - E (splitting) remedies internal fragmentation,
+//   - D (coalescing) remedies external fragmentation,
+//   - A3/A4 tag fields are the per-block organization overhead,
+//   - B's pool structures are the per-pool organization overhead.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dmm/alloc/custom_manager.h"
+
+namespace {
+
+using namespace dmm;
+
+// Replay the trace until its footprint-peak event, then decompose.
+alloc::CustomManager::FootprintBreakdown breakdown_at_peak(
+    const core::AllocTrace& trace, const alloc::DmmConfig& cfg) {
+  // Pass 1: find the peak event index.
+  std::size_t peak_event = 0;
+  {
+    sysmem::SystemArena arena;
+    alloc::CustomManager mgr(arena, cfg, "probe", false);
+    std::size_t peak = 0;
+    std::size_t event = 0;
+    std::unordered_map<std::uint32_t, void*> live;
+    for (const core::AllocEvent& e : trace.events()) {
+      if (e.op == core::AllocEvent::Op::kAlloc) {
+        void* p = mgr.allocate(e.size);
+        if (p != nullptr) live.emplace(e.id, p);
+      } else if (auto it = live.find(e.id); it != live.end()) {
+        mgr.deallocate(it->second);
+        live.erase(it);
+      }
+      if (arena.footprint() > peak) {
+        peak = arena.footprint();
+        peak_event = event;
+      }
+      ++event;
+    }
+    for (auto& [id, p] : live) mgr.deallocate(p);
+  }
+  // Pass 2: stop at the peak and photograph the manager.
+  sysmem::SystemArena arena;
+  alloc::CustomManager mgr(arena, cfg, "probe", true);
+  std::unordered_map<std::uint32_t, void*> live;
+  std::size_t event = 0;
+  alloc::CustomManager::FootprintBreakdown result;
+  for (const core::AllocEvent& e : trace.events()) {
+    if (e.op == core::AllocEvent::Op::kAlloc) {
+      void* p = mgr.allocate(e.size);
+      if (p != nullptr) live.emplace(e.id, p);
+    } else if (auto it = live.find(e.id); it != live.end()) {
+      mgr.deallocate(it->second);
+      live.erase(it);
+    }
+    if (event == peak_event) {
+      result = mgr.breakdown();
+      break;
+    }
+    ++event;
+  }
+  for (auto& [id, p] : live) mgr.deallocate(p);
+  return result;
+}
+
+void print_breakdown(const char* label,
+                     const alloc::CustomManager::FootprintBreakdown& b) {
+  auto pct = [&](std::size_t part) {
+    return 100.0 * static_cast<double>(part) /
+           static_cast<double>(b.footprint);
+  };
+  std::printf("%-28s %9zu %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+              label, b.footprint, pct(b.live_payload),
+              pct(b.header_overhead + b.chunk_headers), pct(b.free_cached),
+              pct(b.wilderness + b.big_cache),
+              pct(b.internal_fragmentation()),
+              100.0 - pct(b.live_payload));
+}
+
+}  // namespace
+
+int main() {
+  using namespace dmm;
+
+  std::printf("Sec. 4.1 factors of influence: footprint decomposition at "
+              "the peak moment\n");
+  bench::print_rule('=');
+  std::printf("%-28s %9s %7s %7s %7s %7s %7s %7s\n", "variant (DRR trace)",
+              "peak B", "live", "org.ovh", "ext.fr", "wild", "int.fr",
+              "waste");
+  std::printf("%-28s %9s %7s %7s %7s %7s %7s %7s\n", "", "", "", "(A3/B)",
+              "(cached)", "", "(resid)", "(total)");
+  bench::print_rule();
+
+  const workloads::Workload& drr = workloads::case_study("drr");
+  const core::AllocTrace trace = workloads::record_trace(drr, 1);
+
+  struct Variant {
+    const char* label;
+    alloc::DmmConfig cfg;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"paper custom (split+coal.)", alloc::drr_paper_config()});
+  {
+    alloc::DmmConfig c = alloc::drr_paper_config();  // E off: internal frag
+    c.flexible = alloc::FlexibleBlockSize::kCoalesceOnly;
+    c.split_when = alloc::SplitWhen::kNever;
+    variants.push_back({"no splitting (E2=never)", c});
+  }
+  {
+    alloc::DmmConfig c = alloc::drr_paper_config();  // D off: external frag
+    c.flexible = alloc::FlexibleBlockSize::kSplitOnly;
+    c.coalesce_when = alloc::CoalesceWhen::kNever;
+    c.block_structure = alloc::BlockStructure::kSinglyLinkedList;
+    variants.push_back({"no coalescing (D2=never)", c});
+  }
+  {
+    alloc::DmmConfig c = alloc::drr_paper_config();  // A2 fixed: rounding
+    c.block_sizes = alloc::BlockSizes::kFixedClasses;
+    c.coalesce_sizes = alloc::CoalesceSizes::kBoundedByClass;
+    c.split_sizes = alloc::SplitSizes::kBoundedByClass;
+    variants.push_back({"fixed size classes (A2)", c});
+  }
+  {
+    alloc::DmmConfig c = alloc::drr_paper_config();  // B4 grow-only: caches
+    c.adaptivity = alloc::PoolAdaptivity::kGrowOnly;
+    variants.push_back({"no shrink (B4=grow-only)", c});
+  }
+  {
+    alloc::DmmConfig c = alloc::fig4_wrong_order_config();  // per-size pools
+    variants.push_back({"Fig.4 manager (no tags)", c});
+  }
+
+  for (const Variant& v : variants) {
+    print_breakdown(v.label, breakdown_at_peak(trace, v.cfg));
+  }
+  bench::print_rule();
+  std::printf("live    = application payload;  org.ovh = block tags + chunk"
+              " headers\next.fr  = free blocks cached in the indexes "
+              "(external fragmentation);\nwild    = uncarved chunk tails + "
+              "big-block cache;  int.fr = allocation\nrounding/unsplit "
+              "remainders (residue);  waste = 100%% - live.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 1 — "DM management search space of orthogonal decisions": the
+// five categories, their decision trees and leaves, the size of the raw
+// cartesian space, and the census of operational/coherent vectors after
+// the interdependencies prune it.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dmm/core/design_space.h"
+
+int main() {
+  using namespace dmm;
+  using core::TreeId;
+
+  std::printf("Figure 1: the DM management design space\n");
+  bench::print_rule('=');
+
+  char current = 0;
+  for (TreeId t : core::all_trees()) {
+    const char cat = core::tree_category(t);
+    if (cat != current) {
+      current = cat;
+      std::printf("\n%c. %s\n", cat, core::category_title(cat).c_str());
+    }
+    std::printf("  %s %-38s:", core::tree_id(t).c_str(),
+                core::tree_title(t).c_str());
+    for (int leaf = 0; leaf < core::leaf_count(t); ++leaf) {
+      std::printf(" %s", core::leaf_name(t, leaf).c_str());
+    }
+    std::printf("\n");
+  }
+
+  bench::print_rule();
+  std::printf("raw cartesian space : %llu decision vectors\n",
+              static_cast<unsigned long long>(core::raw_space_size()));
+
+  // Exact census over the full space (a few seconds; ~10^7 vectors).
+  const core::SpaceCensus census = core::census(/*sample_stride=*/1);
+  std::printf("operational vectors : %llu (%.1f%%) — no hard "
+              "interdependency violated\n",
+              static_cast<unsigned long long>(census.operational),
+              100.0 * static_cast<double>(census.operational) /
+                  static_cast<double>(census.raw));
+  std::printf("coherent vectors    : %llu (%.1f%%) — additionally no "
+              "shadowed decision\n",
+              static_cast<unsigned long long>(census.coherent),
+              100.0 * static_cast<double>(census.coherent) /
+                  static_cast<double>(census.raw));
+  std::printf("\nAny coherent vector is one atomic DM manager; the space "
+              "recreates the\ngeneral-purpose managers (Kingsley, Lea, "
+              "regions, ...) and \"our own new\nhighly-specialized DM "
+              "managers\" (Sec. 3.1).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#ifndef DMM_BENCH_BENCH_UTIL_H
+#define DMM_BENCH_BENCH_UTIL_H
+
+// Shared helpers for the reproduction benches.  Each bench binary prints
+// the rows/series of one table or figure of the paper (see EXPERIMENTS.md
+// for the mapping and the recorded results).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dmm/core/methodology.h"
+#include "dmm/core/simulator.h"
+#include "dmm/managers/registry.h"
+#include "dmm/workloads/workload.h"
+
+namespace dmm::bench {
+
+/// Mean peak footprint of running @p workload on manager @p name over the
+/// given seeds (the paper averages 10 simulations per manager).
+inline double mean_peak_footprint(const workloads::Workload& workload,
+                                  const std::string& name,
+                                  const std::vector<unsigned>& seeds) {
+  double sum = 0.0;
+  for (unsigned seed : seeds) {
+    sysmem::SystemArena arena;
+    {
+      auto mgr = managers::make_manager(name, arena);
+      workload.run(*mgr, seed);
+    }
+    sum += static_cast<double>(arena.peak_footprint());
+  }
+  return sum / static_cast<double>(seeds.size());
+}
+
+/// Mean peak footprint of the methodology-designed manager over seeds.
+inline double mean_peak_footprint_custom(
+    const workloads::Workload& workload,
+    const core::MethodologyResult& design,
+    const std::vector<unsigned>& seeds) {
+  double sum = 0.0;
+  for (unsigned seed : seeds) {
+    sysmem::SystemArena arena;
+    {
+      auto mgr = design.make_manager(arena);
+      workload.run(*mgr, seed);
+    }
+    sum += static_cast<double>(arena.peak_footprint());
+  }
+  return sum / static_cast<double>(seeds.size());
+}
+
+/// "x% improvement" as the paper states it: footprint reduction of b
+/// relative to a.
+inline double improvement_pct(double baseline, double ours) {
+  return 100.0 * (baseline - ours) / baseline;
+}
+
+inline void print_rule(char ch = '-', int width = 72) {
+  for (int i = 0; i < width; ++i) std::putchar(ch);
+  std::putchar('\n');
+}
+
+}  // namespace dmm::bench
+
+#endif  // DMM_BENCH_BENCH_UTIL_H

@@ -1,0 +1,63 @@
+// Embedded scenario: the paper's target is a portable consumer device
+// with a hard physical memory budget.  This example runs the DRR router
+// against shrinking arena budgets and shows which managers keep
+// forwarding packets and which start dropping because their *overhead*
+// (not the traffic) exhausts the device's memory.
+//
+// Build & run:  ./build/examples/embedded_budget
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dmm/core/methodology.h"
+#include "dmm/managers/registry.h"
+#include "dmm/workloads/drr.h"
+#include "dmm/workloads/traffic.h"
+#include "dmm/workloads/workload.h"
+
+int main() {
+  using namespace dmm;
+
+  const workloads::Workload& drr_study = workloads::case_study("drr");
+  const core::AllocTrace trace = workloads::record_trace(drr_study, 1);
+  const core::MethodologyResult design = core::design_manager(trace);
+
+  std::printf("DRR router on a memory-constrained device\n");
+  std::printf("(peak live traffic demand on this trace: %zu bytes)\n\n",
+              trace.stats().peak_live_bytes);
+  std::printf("%-12s", "budget");
+  for (const char* name : {"kingsley", "lea", "custom"}) {
+    std::printf(" %22s", name);
+  }
+  std::printf("\n%-12s", "");
+  for (int i = 0; i < 3; ++i) std::printf(" %22s", "drops (alloc fails)");
+  std::printf("\n");
+
+  workloads::TrafficGenerator gen;
+  const auto packets = gen.generate(1);
+
+  for (std::size_t budget_kb : {512, 256, 192, 160, 128}) {
+    std::printf("%8zu KiB", budget_kb);
+    for (const std::string name : {"kingsley", "lea", "custom"}) {
+      sysmem::SystemArena arena(budget_kb * 1024);
+      std::uint64_t failed = 0;
+      {
+        std::unique_ptr<alloc::Allocator> mgr =
+            name == "custom" ? design.make_manager(arena)
+                             : managers::make_manager(name, arena);
+        workloads::DrrScheduler router(*mgr, gen.config().flows);
+        router.run(packets);
+        failed = mgr->stats().failed_allocs;
+      }
+      std::printf(" %22llu", static_cast<unsigned long long>(failed));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nKingsley's initial reserve plus power-of-two rounding "
+              "exhausts small budgets\nfirst; the custom manager's low "
+              "overhead keeps the router lossless down to\nbudgets close "
+              "to the raw traffic demand.\n");
+  return 0;
+}

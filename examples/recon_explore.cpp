@@ -1,0 +1,76 @@
+// The 3D-reconstruction case study: image-pair corner matching with
+// data-dependent candidate lists, compared across Kingsley, the
+// region manager, and the methodology's custom design — plus a look at
+// what the application actually computed (recovered displacements).
+//
+// Build & run:  ./build/examples/recon_explore
+
+#include <cstdio>
+
+#include "dmm/core/methodology.h"
+#include "dmm/managers/registry.h"
+#include "dmm/workloads/recon3d.h"
+#include "dmm/workloads/workload.h"
+
+int main() {
+  using namespace dmm;
+
+  std::printf("== 3D reconstruction case study ==\n");
+
+  // Run the algorithm once just to show its outputs.
+  {
+    sysmem::SystemArena arena;
+    auto mgr = managers::make_manager("lea", arena);
+    workloads::Recon3d recon(*mgr);
+    const workloads::ReconResult r = recon.run(1);
+    std::printf("%d image pairs: %llu corners, %llu match candidates, "
+                "displacement recovered on %d/%d pairs\n",
+                r.pairs_processed,
+                static_cast<unsigned long long>(r.corners_total),
+                static_cast<unsigned long long>(r.candidates_total),
+                r.displacement_hits, r.pairs_processed);
+    std::printf("(the corner and candidate counts are input dependent: "
+                "this is why the\n algorithm needs dynamic memory)\n");
+  }
+
+  const workloads::Workload& recon = workloads::case_study("recon3d");
+  const core::AllocTrace trace = workloads::record_trace(recon, 1);
+  const core::TraceStats stats = trace.stats();
+  std::printf("\nprofile: %llu events, peak live %zu B; dominant sizes:\n",
+              static_cast<unsigned long long>(stats.events),
+              stats.peak_live_bytes);
+  int shown = 0;
+  for (auto it = stats.top_sizes.rbegin();
+       it != stats.top_sizes.rend() && shown < 5; ++it, ++shown) {
+    std::printf("  %8u B x %llu   %s\n", it->first,
+                static_cast<unsigned long long>(it->second),
+                it->first > 1000000 ? "(gradient planes)"
+                : it->first > 300000 ? "(image frames)"
+                                     : "");
+  }
+
+  const core::MethodologyResult design = core::design_manager(trace);
+  std::printf("\ndesigned vector: %s\n",
+              alloc::signature(design.phase_configs[0]).c_str());
+
+  std::printf("\n== footprint comparison (5 seeds) ==\n");
+  for (const char* name : {"kingsley", "regions", "custom"}) {
+    double sum = 0.0;
+    for (unsigned seed = 1; seed <= 5; ++seed) {
+      sysmem::SystemArena arena;
+      if (std::string(name) == "custom") {
+        auto mgr = design.make_manager(arena);
+        recon.run(*mgr, seed);
+      } else {
+        auto mgr = managers::make_manager(name, arena);
+        recon.run(*mgr, seed);
+      }
+      sum += static_cast<double>(arena.peak_footprint());
+    }
+    std::printf("  %-10s mean peak %10.0f B\n", name, sum / 5.0);
+  }
+  std::printf("\nthe region manager holds every size's region for the whole "
+              "run; the custom\nmanager recycles the detection planes' "
+              "memory for the matching stage.\n");
+  return 0;
+}

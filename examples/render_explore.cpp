@@ -1,0 +1,68 @@
+// The 3D scalable-mesh rendering case study: two logical phases (LOD
+// frame loop, then compositing), one atomic manager designed per phase,
+// composed into a global manager (paper Sec. 3.3) — compared against
+// Lea, Kingsley and the stack-optimised Obstacks.
+//
+// Build & run:  ./build/examples/render_explore
+
+#include <cstdio>
+
+#include "dmm/core/methodology.h"
+#include "dmm/managers/registry.h"
+#include "dmm/workloads/render3d.h"
+#include "dmm/workloads/workload.h"
+
+int main() {
+  using namespace dmm;
+
+  std::printf("== 3D scalable-mesh rendering case study ==\n");
+  {
+    sysmem::SystemArena arena;
+    auto mgr = managers::make_manager("lea", arena);
+    workloads::MeshRenderer renderer(*mgr);
+    const workloads::RenderResult r = renderer.run(1);
+    std::printf("%llu frames, %llu refinement layers pushed/%llu popped, "
+                "%llu vertices transformed, %llu tiles composited\n",
+                static_cast<unsigned long long>(r.frames_rendered),
+                static_cast<unsigned long long>(r.layers_pushed),
+                static_cast<unsigned long long>(r.layers_popped),
+                static_cast<unsigned long long>(r.vertices_transformed),
+                static_cast<unsigned long long>(r.tiles_composited));
+  }
+
+  const workloads::Workload& render = workloads::case_study("render3d");
+  const core::AllocTrace trace = workloads::record_trace(render, 1);
+  std::printf("\nprofile: %llu events in %u application phases\n",
+              static_cast<unsigned long long>(trace.stats().events),
+              trace.stats().phases);
+
+  const core::MethodologyResult design = core::design_manager(trace);
+  std::printf("\none atomic manager per phase (Sec. 3.3 global manager):\n");
+  for (std::size_t i = 0; i < design.phase_configs.size(); ++i) {
+    std::printf("  phase %zu (%s): %s\n", i,
+                i == 0 ? "LOD frame loop, stack-like"
+                       : "compositing, out-of-order",
+                alloc::signature(design.phase_configs[i]).c_str());
+  }
+
+  std::printf("\n== footprint comparison (5 seeds) ==\n");
+  for (const char* name : {"kingsley", "lea", "obstacks", "custom"}) {
+    double sum = 0.0;
+    for (unsigned seed = 1; seed <= 5; ++seed) {
+      sysmem::SystemArena arena;
+      if (std::string(name) == "custom") {
+        auto mgr = design.make_manager(arena);
+        render.run(*mgr, seed);
+      } else {
+        auto mgr = managers::make_manager(name, arena);
+        render.run(*mgr, seed);
+      }
+      sum += static_cast<double>(arena.peak_footprint());
+    }
+    std::printf("  %-10s mean peak %10.0f B\n", name, sum / 5.0);
+  }
+  std::printf("\nObstacks shines on the stack-like frame loop but pays in "
+              "the compositing\nphase; the per-phase custom managers take "
+              "both phases on their own terms.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Trace tooling CLI: record case-study allocation traces to files,
+// inspect their DM behaviour, detect phases, and score any manager
+// against them — the methodology's workflow as shell commands.
+//
+//   trace_tool record <drr|recon3d|render3d> <seed> <file>
+//   trace_tool stats  <file>
+//   trace_tool phases <file>
+//   trace_tool score  <file> <kingsley|lea|regions|obstacks|custom>
+//
+// Build & run:  ./build/examples/trace_tool record drr 1 /tmp/drr.trace
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "dmm/core/methodology.h"
+#include "dmm/core/phase.h"
+#include "dmm/managers/registry.h"
+#include "dmm/workloads/workload.h"
+
+namespace {
+
+using namespace dmm;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tool record <drr|recon3d|render3d> <seed> <file>\n"
+               "  trace_tool stats  <file>\n"
+               "  trace_tool phases <file>\n"
+               "  trace_tool score  <file> <manager|custom>\n");
+  return 2;
+}
+
+int cmd_record(const std::string& workload, unsigned seed,
+               const std::string& path) {
+  const core::AllocTrace trace =
+      workloads::record_trace(workloads::case_study(workload), seed);
+  trace.save(path);
+  std::printf("recorded %zu events to %s\n", trace.size(), path.c_str());
+  return 0;
+}
+
+int cmd_stats(const std::string& path) {
+  const core::AllocTrace trace = core::AllocTrace::load(path);
+  if (trace.empty()) {
+    std::fprintf(stderr, "empty or unreadable trace: %s\n", path.c_str());
+    return 1;
+  }
+  std::string why;
+  if (!trace.validate(&why)) {
+    std::fprintf(stderr, "malformed trace: %s\n", why.c_str());
+    return 1;
+  }
+  const core::TraceStats s = trace.stats();
+  std::printf("events            : %llu (%llu allocs, %llu frees)\n",
+              static_cast<unsigned long long>(s.events),
+              static_cast<unsigned long long>(s.allocs),
+              static_cast<unsigned long long>(s.frees));
+  std::printf("peak live         : %zu bytes in %zu blocks\n",
+              s.peak_live_bytes, s.peak_live_blocks);
+  std::printf("sizes             : %zu distinct, %u..%u bytes, mean %.1f\n",
+              s.distinct_sizes, s.min_size, s.max_size, s.mean_size);
+  std::printf("mean lifetime     : %.1f events\n", s.mean_lifetime_events);
+  std::printf("phases            : %u\n", s.phases);
+  std::printf("size-class histogram (allocations per power-of-two class):\n");
+  for (const auto& [cls, count] : s.class_histogram) {
+    std::printf("  %8zu B: %llu\n",
+                alloc::SizeClass::size_of(cls),
+                static_cast<unsigned long long>(count));
+  }
+  return 0;
+}
+
+int cmd_phases(const std::string& path) {
+  core::AllocTrace trace = core::AllocTrace::load(path);
+  const auto spans = core::detect_phases(trace);
+  std::printf("%zu behaviour phase(s) detected:\n", spans.size());
+  for (const core::PhaseSpan& span : spans) {
+    std::printf("  phase %u: events [%zu, %zu]\n", span.phase,
+                span.first_event, span.last_event);
+  }
+  return 0;
+}
+
+int cmd_score(const std::string& path, const std::string& manager) {
+  const core::AllocTrace trace = core::AllocTrace::load(path);
+  sysmem::SystemArena arena;
+  core::SimResult sim;
+  if (manager == "custom") {
+    const core::MethodologyResult design = core::design_manager(trace);
+    auto mgr = design.make_manager(arena);
+    sim = core::simulate(trace, *mgr);
+    std::printf("designed vector: %s\n",
+                alloc::signature(design.phase_configs[0]).c_str());
+  } else {
+    auto mgr = managers::make_manager(manager, arena);
+    sim = core::simulate(trace, *mgr);
+  }
+  std::printf("peak footprint  : %zu bytes\n", sim.peak_footprint);
+  std::printf("avg footprint   : %.0f bytes\n", sim.avg_footprint);
+  std::printf("final footprint : %zu bytes\n", sim.final_footprint);
+  std::printf("overhead factor : %.2fx of peak live demand\n",
+              sim.overhead_factor());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "record" && argc == 5) {
+    return cmd_record(argv[2], static_cast<unsigned>(std::atoi(argv[3])),
+                      argv[4]);
+  }
+  if (cmd == "stats" && argc == 3) return cmd_stats(argv[2]);
+  if (cmd == "phases" && argc == 3) return cmd_phases(argv[2]);
+  if (cmd == "score" && argc == 4) return cmd_score(argv[2], argv[3]);
+  return usage();
+}

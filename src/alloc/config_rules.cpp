@@ -1,0 +1,212 @@
+#include "dmm/alloc/config_rules.h"
+
+namespace dmm::alloc {
+
+bool pool_blocks_fixed(const DmmConfig& cfg) {
+  if (cfg.pool_division == PoolDivision::kPoolPerExactSize) return true;
+  if (cfg.pool_division == PoolDivision::kPoolPerSizeClass &&
+      cfg.block_sizes == BlockSizes::kFixedClasses) {
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool wants_split(const DmmConfig& c) {
+  return c.flexible == FlexibleBlockSize::kSplitOnly ||
+         c.flexible == FlexibleBlockSize::kSplitAndCoalesce;
+}
+
+bool wants_coalesce(const DmmConfig& c) {
+  return c.flexible == FlexibleBlockSize::kCoalesceOnly ||
+         c.flexible == FlexibleBlockSize::kSplitAndCoalesce;
+}
+
+bool records_size(const DmmConfig& c) {
+  const bool header = c.block_tags == BlockTags::kHeader ||
+                      c.block_tags == BlockTags::kHeaderFooter;
+  return header && (c.recorded_info == RecordedInfo::kSize ||
+                    c.recorded_info == RecordedInfo::kSizeAndStatus);
+}
+
+bool records_status(const DmmConfig& c) {
+  const bool header = c.block_tags == BlockTags::kHeader ||
+                      c.block_tags == BlockTags::kHeaderFooter;
+  return header && (c.recorded_info == RecordedInfo::kStatus ||
+                    c.recorded_info == RecordedInfo::kSizeAndStatus);
+}
+
+bool sorted_ddt(const DmmConfig& c) {
+  return c.block_structure == BlockStructure::kSinglySortedBySize ||
+         c.block_structure == BlockStructure::kDoublySortedBySize ||
+         c.block_structure == BlockStructure::kSizeBinaryTree;
+}
+
+}  // namespace
+
+std::vector<RuleViolation> check_rules(const DmmConfig& c) {
+  std::vector<RuleViolation> out;
+  auto hard = [&](const char* trees, const char* why) {
+    out.push_back({trees, why, true});
+  };
+  auto soft = [&](const char* trees, const char* why) {
+    out.push_back({trees, why, false});
+  };
+
+  const bool fixed_pools = pool_blocks_fixed(c);
+
+  // --- Fig. 3: Block tags restrict Block recorded info -------------------
+  if (c.block_tags == BlockTags::kNone &&
+      c.recorded_info != RecordedInfo::kNone) {
+    hard("A3->A4", "no tag field exists, so nothing can be recorded in it");
+  }
+  if (c.block_tags != BlockTags::kNone &&
+      c.recorded_info == RecordedInfo::kNone) {
+    soft("A3->A4", "a tag field is reserved but records nothing (pure waste)");
+  }
+  // Footer-only tags cannot serve as the size source (the size word is
+  // read at the block base); they only assist backward coalescing.
+  if (c.block_tags == BlockTags::kFooter && !fixed_pools) {
+    hard("A3->A2/B1",
+         "footer-only tags cannot locate sizes for variable-size pools");
+  }
+
+  // --- variable-size pools need in-block size info (Fig. 3 family) -------
+  if (!fixed_pools && !records_size(c)) {
+    hard("A3/A4->A2/B1",
+         "pools hosting several block sizes need per-block size info "
+         "(or pool-per-size division)");
+  }
+
+  // --- A5 vs D2/E2: mechanisms and their schedules must agree ------------
+  if (wants_split(c) != (c.split_when != SplitWhen::kNever)) {
+    soft("A5->E2",
+         "splitting mechanism present/absent but its schedule disagrees");
+  }
+  if (wants_coalesce(c) != (c.coalesce_when != CoalesceWhen::kNever)) {
+    soft("A5->D2",
+         "coalescing mechanism present/absent but its schedule disagrees");
+  }
+
+  // --- splitting requirements (Fig. 4 discussion) -------------------------
+  if (c.split_when != SplitWhen::kNever) {
+    if (!records_size(c)) {
+      hard("A3/A4->E2",
+           "cannot split without storing block sizes (Fig. 4: A3=none "
+           "forces E2=never)");
+    }
+    if (fixed_pools) {
+      soft("A2/B1->E2",
+           "fixed-size pools never split (block sizes are invariant)");
+    }
+  }
+
+  // --- coalescing requirements (Fig. 4 discussion) ------------------------
+  if (c.coalesce_when != CoalesceWhen::kNever) {
+    if (!records_size(c) || !records_status(c)) {
+      hard("A3/A4->D2",
+           "cannot coalesce without size and free/used status in blocks "
+           "(Fig. 4: A3=none forces D2=never)");
+    }
+    if (fixed_pools) {
+      soft("A2/B1->D2",
+           "fixed-size pools never coalesce (merged sizes would leave the "
+           "pool's size)");
+    }
+    if (c.coalesce_when == CoalesceWhen::kAlways &&
+        c.block_tags == BlockTags::kHeader) {
+      soft("A3->D2",
+           "immediate coalescing without boundary footers is forward-only "
+           "(misses half the merges)");
+    }
+    if (c.block_structure == BlockStructure::kSinglyLinkedList ||
+        c.block_structure == BlockStructure::kSinglySortedBySize) {
+      soft("A1->D2",
+           "coalescing unlinks arbitrary neighbours; singly-linked "
+           "structures degrade to linear-time removal (Sec. 5 picks the "
+           "simplest DDT that allows coalescing: the doubly linked list)");
+    }
+  }
+
+  // --- D1/E1 are meaningful only when their mechanism runs ----------------
+  if (c.coalesce_when == CoalesceWhen::kNever &&
+      c.coalesce_sizes != CoalesceSizes::kNotFixed) {
+    soft("D2->D1", "max-block-size bound is dead when coalescing never runs");
+  }
+  if (c.split_when == SplitWhen::kNever &&
+      c.split_sizes != SplitSizes::kNotFixed) {
+    soft("E2->E1", "min-block-size bound is dead when splitting never runs");
+  }
+  // A2 fixed classes: flexible sizes must stay inside the class system.
+  if (c.block_sizes == BlockSizes::kFixedClasses) {
+    if (c.coalesce_when != CoalesceWhen::kNever &&
+        c.coalesce_sizes != CoalesceSizes::kBoundedByClass) {
+      hard("A2->D1",
+           "fixed class sizes require coalescing bounded to class sizes");
+    }
+    if (c.split_when != SplitWhen::kNever &&
+        c.split_sizes != SplitSizes::kBoundedByClass) {
+      hard("A2->E1",
+           "fixed class sizes require splitting bounded to class sizes");
+    }
+  }
+
+  // --- A1 vs C2: self-ordering DDTs dictate the list discipline -----------
+  if (sorted_ddt(c) && c.order != FreeListOrder::kSizeOrdered) {
+    soft("A1->C2", "a size-sorted DDT overrides the free-list ordering");
+  }
+  // Sorting by size is pointless when every block has the same size.
+  if (sorted_ddt(c) && fixed_pools) {
+    soft("A1->A2/B1", "size-sorted DDT degenerates in fixed-size pools");
+  }
+
+  // --- C1 vs A1: positional fits have no meaning on a size tree -----------
+  if (c.block_structure == BlockStructure::kSizeBinaryTree &&
+      (c.fit == FitAlgorithm::kFirstFit || c.fit == FitAlgorithm::kNextFit)) {
+    soft("A1->C1", "first/next fit degenerate to best fit on a size tree");
+  }
+
+  // --- B-category coherence ------------------------------------------------
+  switch (c.pool_division) {
+    case PoolDivision::kSinglePool:
+      if (c.pool_count != PoolCount::kOne) {
+        hard("B1->B3", "a single pool implies pool count = one");
+      }
+      break;
+    case PoolDivision::kPoolPerSizeClass:
+      if (c.pool_count == PoolCount::kOne) {
+        hard("B1->B3", "per-class pools need a many-pool count policy");
+      }
+      break;
+    case PoolDivision::kPoolPerExactSize:
+      if (c.pool_count != PoolCount::kDynamic) {
+        hard("B1->B3",
+             "per-exact-size pools appear on demand: count must be dynamic");
+      }
+      break;
+  }
+  if (c.adaptivity == PoolAdaptivity::kStaticPreallocated) {
+    if (c.pool_division != PoolDivision::kSinglePool) {
+      hard("B4->B1",
+           "a statically preallocated memory budget is modelled as one "
+           "pool (per-pool static partitioning is a different system)");
+    }
+    // Coalescing still works inside a static pool; only the
+    // give-back-to-OS effect is lost.  Dotted-arrow interdependency
+    // (linked purposes), not a violation — see core/constraints.
+  }
+
+  return out;
+}
+
+bool is_valid(const DmmConfig& cfg) { return check_rules(cfg).empty(); }
+
+std::optional<std::string> unsupported_reason(const DmmConfig& cfg) {
+  for (const RuleViolation& v : check_rules(cfg)) {
+    if (v.hard) return v.trees + ": " + v.reason;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dmm::alloc

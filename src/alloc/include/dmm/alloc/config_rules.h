@@ -1,0 +1,40 @@
+#ifndef DMM_ALLOC_CONFIG_RULES_H
+#define DMM_ALLOC_CONFIG_RULES_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dmm/alloc/config.h"
+
+namespace dmm::alloc {
+
+/// Whether the decision vector yields *fixed-size pools* (every block in a
+/// pool has one size, so size/status are recoverable from pool membership
+/// alone — the Fig. 3 escape hatch when blocks carry no tags).
+[[nodiscard]] bool pool_blocks_fixed(const DmmConfig& cfg);
+
+/// One violated interdependency: which trees clash and why.
+struct RuleViolation {
+  std::string trees;   ///< e.g. "A3->A4"
+  std::string reason;  ///< human-readable explanation
+  bool hard;           ///< true: the manager cannot operate at all;
+                       ///< false: it runs but the combination is incoherent
+                       ///< (a decision is shadowed by another tree)
+};
+
+/// Checks every interdependency of the search space (paper Fig. 2) against
+/// a full decision vector.  An empty result means the vector denotes one
+/// coherent atomic DM manager.
+[[nodiscard]] std::vector<RuleViolation> check_rules(const DmmConfig& cfg);
+
+/// True iff check_rules() returns no violations (hard or soft).
+[[nodiscard]] bool is_valid(const DmmConfig& cfg);
+
+/// First *hard* violation, if any — CustomManager refuses these vectors.
+[[nodiscard]] std::optional<std::string> unsupported_reason(
+    const DmmConfig& cfg);
+
+}  // namespace dmm::alloc
+
+#endif  // DMM_ALLOC_CONFIG_RULES_H

@@ -1,0 +1,66 @@
+#ifndef DMM_ALLOC_SIZE_CLASS_H
+#define DMM_ALLOC_SIZE_CLASS_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace dmm::alloc {
+
+/// Allocation alignment for every manager in the library.  8 bytes is the
+/// natural word size of the modelled 32/64-bit embedded targets and keeps
+/// the per-block tag fields (one word) aligned.
+inline constexpr std::size_t kAlignment = 8;
+
+/// Rounds @p n up to the next multiple of @p align (power of two).
+[[nodiscard]] constexpr std::size_t align_up(std::size_t n,
+                                             std::size_t align = kAlignment) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// True iff @p p is aligned to @p align.
+[[nodiscard]] inline bool is_aligned(const void* p,
+                                     std::size_t align = kAlignment) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+/// Power-of-two size classes, the classic Kingsley binning.
+/// Class k holds sizes in (2^(k-1), 2^k]; the smallest class is 2^kMinLog2.
+struct SizeClass {
+  static constexpr unsigned kMinLog2 = 3;   ///< 8 bytes
+  static constexpr unsigned kMaxLog2 = 26;  ///< 64 MiB, beyond any workload
+  static constexpr unsigned kCount = kMaxLog2 - kMinLog2 + 1;
+
+  /// Smallest power of two >= n (n > 0).
+  [[nodiscard]] static constexpr std::size_t round_up_pow2(std::size_t n) {
+    return std::bit_ceil(n);
+  }
+
+  /// Index of the class that holds @p n bytes.
+  [[nodiscard]] static constexpr unsigned index_for(std::size_t n) {
+    if (n <= (std::size_t{1} << kMinLog2)) return 0;
+    return static_cast<unsigned>(std::bit_width(n - 1)) - kMinLog2;
+  }
+
+  /// Byte size of class @p idx.
+  [[nodiscard]] static constexpr std::size_t size_of(unsigned idx) {
+    return std::size_t{1} << (idx + kMinLog2);
+  }
+
+  /// Rounds @p n up to its class size (Kingsley rounding).
+  [[nodiscard]] static constexpr std::size_t round_to_class(std::size_t n) {
+    return size_of(index_for(n));
+  }
+};
+
+static_assert(SizeClass::index_for(1) == 0);
+static_assert(SizeClass::index_for(8) == 0);
+static_assert(SizeClass::index_for(9) == 1);
+static_assert(SizeClass::index_for(16) == 1);
+static_assert(SizeClass::index_for(17) == 2);
+static_assert(SizeClass::size_of(0) == 8);
+static_assert(SizeClass::round_to_class(100) == 128);
+
+}  // namespace dmm::alloc
+
+#endif  // DMM_ALLOC_SIZE_CLASS_H

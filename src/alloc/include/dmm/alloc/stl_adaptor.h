@@ -1,0 +1,56 @@
+#ifndef DMM_ALLOC_STL_ADAPTOR_H
+#define DMM_ALLOC_STL_ADAPTOR_H
+
+#include <cstddef>
+#include <new>
+
+#include "dmm/alloc/allocator.h"
+
+namespace dmm::alloc {
+
+/// std::allocator-compatible bridge so the case-study applications can run
+/// real standard containers (vectors of packets, lists of corners, ...)
+/// on top of any dmm manager — the way the paper's C++ library is used.
+///
+/// Propagates on copy/move/swap so containers keep talking to the same
+/// manager across rebinds and moves.
+template <typename T>
+class StlAdaptor {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  explicit StlAdaptor(Allocator& manager) noexcept : manager_(&manager) {}
+
+  template <typename U>
+  StlAdaptor(const StlAdaptor<U>& other) noexcept
+      : manager_(other.manager_) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    void* p = manager_->allocate(n * sizeof(T));
+    if (p == nullptr) throw std::bad_alloc{};
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { manager_->deallocate(p); }
+
+  [[nodiscard]] Allocator& manager() const noexcept { return *manager_; }
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const StlAdaptor<U>& rhs) const noexcept {
+    return manager_ == rhs.manager_;
+  }
+
+ private:
+  template <typename U>
+  friend class StlAdaptor;
+
+  Allocator* manager_;
+};
+
+}  // namespace dmm::alloc
+
+#endif  // DMM_ALLOC_STL_ADAPTOR_H

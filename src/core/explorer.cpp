@@ -1,0 +1,208 @@
+#include "dmm/core/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "dmm/alloc/custom_manager.h"
+
+namespace dmm::core {
+
+using alloc::DmmConfig;
+
+Explorer::Explorer(AllocTrace trace, ExplorerOptions opts)
+    : trace_(std::move(trace)), opts_(opts) {}
+
+SimResult Explorer::score(const DmmConfig& cfg,
+                          std::uint64_t* work_steps) const {
+  sysmem::SystemArena arena;
+  // strict accounting off: exploration replays thousands of events per
+  // candidate and only footprint/work are scored.
+  alloc::CustomManager mgr(arena, cfg, "candidate",
+                           /*strict_accounting=*/false);
+  SimResult sim = simulate(trace_, mgr);
+  if (work_steps != nullptr) *work_steps = mgr.work_steps();
+  return sim;
+}
+
+double Explorer::objective(const ExplorerOptions& opts, const SimResult& sim,
+                           std::uint64_t work) {
+  if (sim.failed_allocs > 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(sim.peak_footprint) +
+         opts.time_weight * static_cast<double>(work);
+}
+
+namespace {
+// Lexicographic comparison of candidates: primary objective (peak
+// footprint, optionally time-weighted), then average footprint — the
+// paper's "returned back to the system for other applications" benefit —
+// then manager work.  Peaks within 1% count as tied: the paper reports
+// <2% run-to-run variation (Sec. 5), so differences at that scale are
+// placement noise, not design signal.
+bool better(double obj_a, double avg_a, std::uint64_t work_a, double obj_b,
+            double avg_b, std::uint64_t work_b) {
+  const double tol = 0.01 * std::min(obj_a, obj_b);
+  if (std::abs(obj_a - obj_b) > tol) return obj_a < obj_b;
+  const double avg_tol = 0.01 * std::min(avg_a, avg_b);
+  if (std::abs(avg_a - avg_b) > avg_tol) return avg_a < avg_b;
+  return work_a < work_b;
+}
+}  // namespace
+
+ExplorationResult Explorer::explore(const std::vector<TreeId>& order) {
+  ExplorationResult result;
+  DmmConfig cfg = opts_.defaults;
+  DecidedMask decided{};
+  for (TreeId tree : order) {
+    StepLog step;
+    step.tree = tree;
+    double best_obj = std::numeric_limits<double>::infinity();
+    double best_avg = std::numeric_limits<double>::infinity();
+    std::uint64_t best_work = std::numeric_limits<std::uint64_t>::max();
+    int best_leaf = -1;
+    for (int leaf = 0; leaf < leaf_count(tree); ++leaf) {
+      CandidateScore cand;
+      cand.leaf = leaf;
+      cand.admissible =
+          Constraints::admissible(cfg, decided, tree, leaf, opts_.prune_soft);
+      if (cand.admissible) {
+        DmmConfig probe = cfg;
+        set_leaf(probe, tree, leaf);
+        DecidedMask probe_decided = decided;
+        probe_decided[static_cast<std::size_t>(tree)] = true;
+        const DmmConfig complete = Constraints::repair(probe, probe_decided);
+        std::uint64_t work = 0;
+        const SimResult sim = score(complete, &work);
+        ++result.simulations;
+        cand.peak_footprint = sim.peak_footprint;
+        cand.avg_footprint = sim.avg_footprint;
+        cand.work_steps = work;
+        cand.failed_allocs = sim.failed_allocs;
+        const double obj = objective(opts_, sim, work);
+        if (best_leaf < 0 ||
+            better(obj, sim.avg_footprint, work, best_obj, best_avg,
+                   best_work)) {
+          best_obj = obj;
+          best_avg = sim.avg_footprint;
+          best_work = work;
+          best_leaf = leaf;
+        }
+      }
+      step.candidates.push_back(cand);
+    }
+    if (best_leaf < 0) {
+      // No admissible leaf: keep the default (cannot happen with a
+      // coherent rule set; guarded for robustness).
+      best_leaf = get_leaf(cfg, tree);
+    }
+    set_leaf(cfg, tree, best_leaf);
+    decided[static_cast<std::size_t>(tree)] = true;
+    step.chosen = best_leaf;
+    result.steps.push_back(std::move(step));
+  }
+  result.best = Constraints::repair(cfg, decided);
+  result.best_sim = score(result.best, &result.work_steps);
+  ++result.simulations;
+  return result;
+}
+
+ExplorationResult Explorer::exhaustive(const std::vector<TreeId>& trees,
+                                       std::size_t max_evals) {
+  ExplorationResult result;
+  double best_obj = std::numeric_limits<double>::infinity();
+  double best_avg = std::numeric_limits<double>::infinity();
+  std::uint64_t best_work = std::numeric_limits<std::uint64_t>::max();
+  DecidedMask decided{};
+  for (TreeId t : trees) decided[static_cast<std::size_t>(t)] = true;
+
+  std::vector<int> leaf(trees.size(), 0);
+  bool done = false;
+  while (!done && result.simulations < max_evals) {
+    DmmConfig cfg = opts_.defaults;
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      set_leaf(cfg, trees[i], leaf[i]);
+    }
+    cfg = Constraints::repair(cfg, decided);
+    bool valid = true;
+    for (const alloc::RuleViolation& v : alloc::check_rules(cfg)) {
+      if (v.hard || opts_.prune_soft) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) {
+      std::uint64_t work = 0;
+      const SimResult sim = score(cfg, &work);
+      ++result.simulations;
+      const double obj = objective(opts_, sim, work);
+      if (result.simulations == 1 ||
+          better(obj, sim.avg_footprint, work, best_obj, best_avg,
+                 best_work)) {
+        best_obj = obj;
+        best_avg = sim.avg_footprint;
+        best_work = work;
+        result.best = cfg;
+        result.best_sim = sim;
+        result.work_steps = work;
+      }
+    }
+    // odometer increment
+    std::size_t pos = 0;
+    for (;;) {
+      if (pos == trees.size()) {
+        done = true;
+        break;
+      }
+      if (++leaf[pos] < leaf_count(trees[pos])) break;
+      leaf[pos] = 0;
+      ++pos;
+    }
+  }
+  return result;
+}
+
+ExplorationResult Explorer::random_search(std::size_t samples,
+                                          unsigned seed) {
+  ExplorationResult result;
+  std::mt19937 rng(seed);
+  double best_obj = std::numeric_limits<double>::infinity();
+  double best_avg = std::numeric_limits<double>::infinity();
+  std::uint64_t best_work = std::numeric_limits<std::uint64_t>::max();
+  // Budget = number of *simulations*, matching the ordered traversal's
+  // accounting; invalid draws are rejected without charge (bounded).
+  const std::size_t max_attempts = samples * 500 + 1000;
+  for (std::size_t attempt = 0;
+       attempt < max_attempts && result.simulations < samples; ++attempt) {
+    DmmConfig cfg = opts_.defaults;
+    for (TreeId t : all_trees()) {
+      set_leaf(cfg, t,
+               static_cast<int>(rng() % static_cast<unsigned>(leaf_count(t))));
+    }
+    bool valid = true;
+    for (const alloc::RuleViolation& v : alloc::check_rules(cfg)) {
+      if (v.hard || opts_.prune_soft) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) continue;
+    std::uint64_t work = 0;
+    const SimResult sim = score(cfg, &work);
+    ++result.simulations;
+    const double obj = objective(opts_, sim, work);
+    if (result.simulations == 1 ||
+        better(obj, sim.avg_footprint, work, best_obj, best_avg,
+               best_work)) {
+      best_obj = obj;
+      best_avg = sim.avg_footprint;
+      best_work = work;
+      result.best = cfg;
+      result.best_sim = sim;
+      result.work_steps = work;
+    }
+  }
+  return result;
+}
+
+}  // namespace dmm::core

@@ -1,0 +1,68 @@
+#include "dmm/core/global_manager.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dmm::core {
+
+namespace {
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "dmm::core::GlobalManager fatal: %s\n", what);
+  std::abort();
+}
+}  // namespace
+
+GlobalManager::GlobalManager(sysmem::SystemArena& arena,
+                             std::vector<alloc::DmmConfig> phase_configs,
+                             std::string name, bool strict_accounting)
+    : Allocator(arena), name_(std::move(name)) {
+  if (phase_configs.empty()) die("at least one phase config required");
+  atomics_.reserve(phase_configs.size());
+  for (std::size_t i = 0; i < phase_configs.size(); ++i) {
+    atomics_.push_back(std::make_unique<alloc::CustomManager>(
+        arena, phase_configs[i], name_ + "/phase" + std::to_string(i),
+        strict_accounting));
+  }
+}
+
+void GlobalManager::set_phase(std::uint16_t phase) {
+  phase_ = phase < atomics_.size() ? phase
+                                   : static_cast<std::uint16_t>(
+                                         atomics_.size() - 1);
+}
+
+void* GlobalManager::allocate(std::size_t bytes) {
+  const std::size_t idx = phase_;
+  void* p = atomics_[idx]->allocate(bytes);
+  if (p != nullptr) {
+    owner_.emplace(p, Owner{idx, bytes});
+    note_alloc(bytes);
+  } else {
+    ++stats_.failed_allocs;
+  }
+  return p;
+}
+
+void GlobalManager::deallocate(void* ptr) {
+  if (ptr == nullptr) return;
+  auto it = owner_.find(ptr);
+  if (it == owner_.end()) die("deallocate: pointer not owned");
+  const Owner owner = it->second;
+  owner_.erase(it);
+  note_free(owner.bytes);
+  atomics_[owner.atomic]->deallocate(ptr);
+}
+
+std::size_t GlobalManager::usable_size(const void* ptr) const {
+  auto it = owner_.find(ptr);
+  if (it == owner_.end()) die("usable_size: pointer not owned");
+  return atomics_[it->second.atomic]->usable_size(ptr);
+}
+
+std::uint64_t GlobalManager::work_steps() const {
+  std::uint64_t steps = 0;
+  for (const auto& a : atomics_) steps += a->work_steps();
+  return steps;
+}
+
+}  // namespace dmm::core

@@ -1,0 +1,102 @@
+#ifndef DMM_CORE_EXPLORER_H
+#define DMM_CORE_EXPLORER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dmm/alloc/config.h"
+#include "dmm/core/constraints.h"
+#include "dmm/core/order.h"
+#include "dmm/core/simulator.h"
+#include "dmm/core/trace.h"
+
+namespace dmm::core {
+
+/// Options steering the search (paper Sec. 4/5).
+struct ExplorerOptions {
+  /// Values undecided trees hold before repair; also the seed vector.
+  /// Capability-max by default: when a tree is scored, the still-undecided
+  /// trees complete it with *supporting* choices (constraint repair), so a
+  /// leaf is judged by the best manager family it can lead to — the way
+  /// the paper's Sec. 5 walk reasons ("many block sizes ... because the
+  /// application requests blocks that vary greatly").  The Fig. 4 trap is
+  /// about a *myopic* designer deciding A3 by local cost; the ablation
+  /// bench models that explicitly rather than through these defaults.
+  alloc::DmmConfig defaults{};
+  /// Reject incoherent (soft-violating) combinations, not just inoperable
+  /// ones.
+  bool prune_soft = true;
+  /// Secondary objective weight: score = peak + time_weight * work_steps.
+  /// 0 keeps the paper's pure-footprint objective (work only tie-breaks).
+  double time_weight = 0.0;
+};
+
+/// Score of one candidate leaf during a traversal step.
+struct CandidateScore {
+  int leaf = -1;
+  bool admissible = false;
+  std::size_t peak_footprint = 0;
+  double avg_footprint = 0.0;
+  std::uint64_t work_steps = 0;
+  std::uint64_t failed_allocs = 0;
+};
+
+/// One decided tree: which leaf won and what every candidate scored.
+struct StepLog {
+  TreeId tree{};
+  int chosen = -1;
+  std::vector<CandidateScore> candidates;
+};
+
+/// Outcome of a search over the decision space.
+struct ExplorationResult {
+  alloc::DmmConfig best{};
+  SimResult best_sim{};
+  std::uint64_t work_steps = 0;     ///< manager work during best replay
+  std::vector<StepLog> steps;       ///< ordered-traversal log (if used)
+  std::uint64_t simulations = 0;    ///< trace replays spent
+};
+
+/// Trace-driven design-space search: the executable form of the paper's
+/// methodology.  The headline mode is explore(), the ordered greedy
+/// traversal of Sec. 4.2 with constraint propagation; exhaustive() and
+/// random_search() exist to validate it (and power the ablation benches).
+class Explorer {
+ public:
+  explicit Explorer(AllocTrace trace, ExplorerOptions opts = {});
+
+  /// Greedy ordered traversal: decide trees in @p order, scoring each
+  /// admissible leaf by replaying the trace on the repaired completion.
+  [[nodiscard]] ExplorationResult explore(
+      const std::vector<TreeId>& order = paper_order());
+
+  /// Exhaustively scores the cartesian product of the given trees' leaves
+  /// (other trees repaired from defaults).  Stops after @p max_evals
+  /// simulations.
+  [[nodiscard]] ExplorationResult exhaustive(const std::vector<TreeId>& trees,
+                                             std::size_t max_evals = 100000);
+
+  /// Uniform random sampling of full decision vectors (invalid ones are
+  /// rejected without simulation).
+  [[nodiscard]] ExplorationResult random_search(std::size_t samples,
+                                                unsigned seed = 1);
+
+  /// Replays the trace on a custom manager built from @p cfg.
+  [[nodiscard]] SimResult score(const alloc::DmmConfig& cfg,
+                                std::uint64_t* work_steps = nullptr) const;
+
+  [[nodiscard]] const AllocTrace& trace() const { return trace_; }
+
+ private:
+  [[nodiscard]] static double objective(const ExplorerOptions& opts,
+                                        const SimResult& sim,
+                                        std::uint64_t work);
+
+  AllocTrace trace_;
+  ExplorerOptions opts_;
+};
+
+}  // namespace dmm::core
+
+#endif  // DMM_CORE_EXPLORER_H

@@ -1,0 +1,48 @@
+#ifndef DMM_CORE_METHODOLOGY_H
+#define DMM_CORE_METHODOLOGY_H
+
+#include <memory>
+#include <vector>
+
+#include "dmm/core/explorer.h"
+#include "dmm/core/global_manager.h"
+#include "dmm/core/phase.h"
+
+namespace dmm::core {
+
+/// Options of the end-to-end methodology run.
+struct MethodologyOptions {
+  /// Re-detect phases from the trace; when false, the phase annotations
+  /// already present in the trace (profiler markers) are used as-is.
+  bool detect_phases = false;
+  PhaseDetectorOptions phase_options{};
+  ExplorerOptions explorer_options{};
+  /// Traversal order (defaults to the published one).
+  std::vector<TreeId> order = paper_order();
+};
+
+/// Everything the methodology produces for one application.
+struct MethodologyResult {
+  std::vector<PhaseSpan> phases;
+  /// One decision vector per phase — the atomic DM managers (Sec. 3.3).
+  std::vector<alloc::DmmConfig> phase_configs;
+  /// Per-phase exploration logs (decision walks as in Sec. 5).
+  std::vector<ExplorationResult> phase_results;
+  std::uint64_t total_simulations = 0;
+
+  /// Instantiates the designed manager over @p arena: a single atomic
+  /// CustomManager for single-phase applications, a GlobalManager
+  /// otherwise.
+  [[nodiscard]] std::unique_ptr<alloc::Allocator> make_manager(
+      sysmem::SystemArena& arena, bool strict_accounting = true) const;
+};
+
+/// The paper's flow in one call: (profile already done — @p trace),
+/// detect/respect phases, traverse the ordered trees per phase, and return
+/// the atomic decision vectors plus a factory for the global manager.
+[[nodiscard]] MethodologyResult design_manager(
+    const AllocTrace& trace, const MethodologyOptions& options = {});
+
+}  // namespace dmm::core
+
+#endif  // DMM_CORE_METHODOLOGY_H

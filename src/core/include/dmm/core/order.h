@@ -1,0 +1,37 @@
+#ifndef DMM_CORE_ORDER_H
+#define DMM_CORE_ORDER_H
+
+#include <string>
+#include <vector>
+
+#include "dmm/core/design_space.h"
+
+namespace dmm::core {
+
+/// The traversal order of Sec. 4.2, tuned for minimum footprint:
+///
+///   A2 -> A5 -> E2 -> D2 -> E1 -> D1 -> B4 -> B1 -> C1 -> A1 -> A3 -> A4
+///
+/// extended with the figure-only trees (B2, B3 next to B1; C2 next to C1)
+/// at the positions of their siblings, so every tree is decided exactly
+/// once.  Rationale, from the paper: global block structure first (A2,
+/// A5), then how to *deal with* fragmentation (categories E and D), then
+/// how to *prevent* it (B, C), and the remaining block-structure details
+/// (A1, A3, A4) last, where the earlier decisions constrain them.
+[[nodiscard]] const std::vector<TreeId>& paper_order();
+
+/// The Fig. 4 counter-example order: A3/A4 are decided *before* the
+/// splitting/coalescing schedules, so the footprint-greedy choice
+/// (A3 = none) propagates "never split, never coalesce" into D2/E2.
+[[nodiscard]] const std::vector<TreeId>& fig4_wrong_order();
+
+/// Naive reading order A1..A5, B1..B4, C1, C2, D1, D2, E1, E2 — an
+/// ablation showing that *some* structure-first orders still work worse.
+[[nodiscard]] const std::vector<TreeId>& naive_order();
+
+/// Pretty "A2->A5->..." rendering for logs and benches.
+[[nodiscard]] std::string order_to_string(const std::vector<TreeId>& order);
+
+}  // namespace dmm::core
+
+#endif  // DMM_CORE_ORDER_H

@@ -1,0 +1,73 @@
+#ifndef DMM_CORE_PROFILER_H
+#define DMM_CORE_PROFILER_H
+
+#include <string>
+#include <unordered_map>
+
+#include "dmm/alloc/allocator.h"
+#include "dmm/core/trace.h"
+
+namespace dmm::core {
+
+/// Recording wrapper: runs the application on any backing manager while
+/// capturing its allocation trace — step 1 of the methodology ("we first
+/// profile its DM behaviour", Sec. 5).
+///
+/// The application can annotate its logical phases with set_phase(); the
+/// phase detector can refine or replace those annotations afterwards.
+class ProfilingAllocator : public alloc::Allocator {
+ public:
+  explicit ProfilingAllocator(alloc::Allocator& backing)
+      : Allocator(backing.arena()), backing_(&backing) {}
+
+  [[nodiscard]] void* allocate(std::size_t bytes) override {
+    void* p = backing_->allocate(bytes);
+    if (p != nullptr) {
+      const std::uint32_t id = next_id_++;
+      ids_.emplace(p, id);
+      trace_.record_alloc(id, static_cast<std::uint32_t>(bytes), phase_);
+      note_alloc(bytes);
+    }
+    return p;
+  }
+
+  void deallocate(void* ptr) override {
+    if (ptr == nullptr) return;
+    auto it = ids_.find(ptr);
+    if (it != ids_.end()) {
+      trace_.record_free(it->second, phase_);
+      ids_.erase(it);
+    }
+    backing_->deallocate(ptr);
+  }
+
+  [[nodiscard]] std::size_t usable_size(const void* ptr) const override {
+    return backing_->usable_size(ptr);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "profiler(" + backing_->name() + ")";
+  }
+
+  /// Marks the start of logical phase @p phase for subsequent events
+  /// (also forwarded to the backing manager, which may be phase-aware).
+  void set_phase(std::uint16_t phase) override {
+    phase_ = phase;
+    backing_->set_phase(phase);
+  }
+  [[nodiscard]] std::uint16_t phase() const { return phase_; }
+
+  [[nodiscard]] const AllocTrace& trace() const { return trace_; }
+  [[nodiscard]] AllocTrace take_trace() { return std::move(trace_); }
+
+ private:
+  alloc::Allocator* backing_;
+  AllocTrace trace_;
+  std::unordered_map<const void*, std::uint32_t> ids_;
+  std::uint32_t next_id_ = 0;
+  std::uint16_t phase_ = 0;
+};
+
+}  // namespace dmm::core
+
+#endif  // DMM_CORE_PROFILER_H

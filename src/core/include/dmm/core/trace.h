@@ -1,0 +1,85 @@
+#ifndef DMM_CORE_TRACE_H
+#define DMM_CORE_TRACE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dmm::core {
+
+/// One dynamic-memory event of an application run.
+struct AllocEvent {
+  enum class Op : std::uint8_t { kAlloc, kFree };
+  Op op = Op::kAlloc;
+  std::uint32_t id = 0;    ///< object id; alloc/free pairs share it
+  std::uint32_t size = 0;  ///< requested bytes (alloc events only)
+  std::uint16_t phase = 0; ///< logical application phase (Sec. 3.3)
+};
+
+/// Aggregate DM behaviour of a trace — what the paper calls "profiling the
+/// DM behaviour of the application" before taking the tree decisions.
+struct TraceStats {
+  std::uint64_t events = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::size_t peak_live_bytes = 0;
+  std::size_t peak_live_blocks = 0;
+  std::size_t distinct_sizes = 0;
+  std::uint32_t min_size = 0;
+  std::uint32_t max_size = 0;
+  double mean_size = 0.0;
+  double mean_lifetime_events = 0.0;  ///< alloc->free distance in events
+  std::uint16_t phases = 1;
+  /// allocation counts per power-of-two size class index
+  std::map<unsigned, std::uint64_t> class_histogram;
+  /// top allocation sizes by count (size -> count), at most 16 entries
+  std::map<std::uint32_t, std::uint64_t> top_sizes;
+};
+
+/// A recorded allocation trace: the exploration engine's workload input.
+///
+/// Traces are well-formed: every free refers to a previously allocated,
+/// not-yet-freed id.  validate() checks this (tests and loaders use it).
+class AllocTrace {
+ public:
+  void record_alloc(std::uint32_t id, std::uint32_t size,
+                    std::uint16_t phase = 0) {
+    events_.push_back({AllocEvent::Op::kAlloc, id, size, phase});
+  }
+  void record_free(std::uint32_t id, std::uint16_t phase = 0) {
+    events_.push_back({AllocEvent::Op::kFree, id, 0, phase});
+  }
+
+  [[nodiscard]] const std::vector<AllocEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::vector<AllocEvent>& events() { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Appends all events of @p other (ids are offset to stay unique).
+  void append(const AllocTrace& other, std::uint16_t phase_offset = 0);
+
+  /// Frees every id still live at the end (teardown); keeps traces
+  /// replayable in a loop.
+  void close_leaks();
+
+  /// True iff every free matches a live alloc and ids are not reused
+  /// while live.
+  [[nodiscard]] bool validate(std::string* why = nullptr) const;
+
+  /// Aggregate behaviour (single pass).
+  [[nodiscard]] TraceStats stats() const;
+
+  /// Simple line format: "a <id> <size> <phase>" / "f <id> <phase>".
+  void save(const std::string& path) const;
+  [[nodiscard]] static AllocTrace load(const std::string& path);
+
+ private:
+  std::vector<AllocEvent> events_;
+};
+
+}  // namespace dmm::core
+
+#endif  // DMM_CORE_TRACE_H

@@ -1,0 +1,55 @@
+#include "dmm/core/methodology.h"
+
+namespace dmm::core {
+
+std::unique_ptr<alloc::Allocator> MethodologyResult::make_manager(
+    sysmem::SystemArena& arena, bool strict_accounting) const {
+  if (phase_configs.size() == 1) {
+    return std::make_unique<alloc::CustomManager>(
+        arena, phase_configs[0], "custom", strict_accounting);
+  }
+  return std::make_unique<GlobalManager>(arena, phase_configs,
+                                         "custom-global", strict_accounting);
+}
+
+MethodologyResult design_manager(const AllocTrace& trace,
+                                 const MethodologyOptions& options) {
+  MethodologyResult result;
+  AllocTrace working = trace;
+  if (options.detect_phases) {
+    result.phases = detect_phases(working, options.phase_options);
+    apply_phases(working, result.phases);
+  } else {
+    // Respect the annotations already in the trace.
+    const TraceStats stats = working.stats();
+    std::size_t begin = 0;
+    for (std::uint16_t p = 0; p < stats.phases; ++p) {
+      std::size_t end = begin;
+      for (std::size_t i = begin; i < working.events().size(); ++i) {
+        if (working.events()[i].phase == p) end = i;
+      }
+      result.phases.push_back({p, begin, end});
+      begin = end + 1;
+    }
+  }
+  // One atomic manager per phase, explored independently (Sec. 3.3): each
+  // phase's sub-trace contains the objects allocated in that phase,
+  // including their (possibly later) frees.
+  const std::vector<AllocTrace> sub_traces = split_by_phase(working);
+  for (const AllocTrace& sub : sub_traces) {
+    if (sub.empty()) {
+      // Phase with no allocations: reuse defaults.
+      result.phase_configs.push_back(options.explorer_options.defaults);
+      result.phase_results.emplace_back();
+      continue;
+    }
+    Explorer explorer(sub, options.explorer_options);
+    ExplorationResult r = explorer.explore(options.order);
+    result.total_simulations += r.simulations;
+    result.phase_configs.push_back(r.best);
+    result.phase_results.push_back(std::move(r));
+  }
+  return result;
+}
+
+}  // namespace dmm::core

@@ -1,0 +1,39 @@
+#include "dmm/core/order.h"
+
+namespace dmm::core {
+
+const std::vector<TreeId>& paper_order() {
+  static const std::vector<TreeId> kOrder = {
+      TreeId::kA2, TreeId::kA5, TreeId::kE2, TreeId::kD2, TreeId::kE1,
+      TreeId::kD1, TreeId::kB4, TreeId::kB1, TreeId::kB2, TreeId::kB3,
+      TreeId::kC1, TreeId::kC2, TreeId::kA1, TreeId::kA3, TreeId::kA4};
+  return kOrder;
+}
+
+const std::vector<TreeId>& fig4_wrong_order() {
+  // A3/A4 pulled to the front; everything else keeps the paper's order.
+  static const std::vector<TreeId> kOrder = {
+      TreeId::kA3, TreeId::kA4, TreeId::kA2, TreeId::kA5, TreeId::kE2,
+      TreeId::kD2, TreeId::kE1, TreeId::kD1, TreeId::kB4, TreeId::kB1,
+      TreeId::kB2, TreeId::kB3, TreeId::kC1, TreeId::kC2, TreeId::kA1};
+  return kOrder;
+}
+
+const std::vector<TreeId>& naive_order() {
+  static const std::vector<TreeId> kOrder = {
+      TreeId::kA1, TreeId::kA2, TreeId::kA3, TreeId::kA4, TreeId::kA5,
+      TreeId::kB1, TreeId::kB2, TreeId::kB3, TreeId::kB4, TreeId::kC1,
+      TreeId::kC2, TreeId::kD1, TreeId::kD2, TreeId::kE1, TreeId::kE2};
+  return kOrder;
+}
+
+std::string order_to_string(const std::vector<TreeId>& order) {
+  std::string out;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) out += "->";
+    out += tree_id(order[i]);
+  }
+  return out;
+}
+
+}  // namespace dmm::core

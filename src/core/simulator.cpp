@@ -1,0 +1,78 @@
+#include "dmm/core/simulator.h"
+
+#include <chrono>
+#include <unordered_map>
+
+namespace dmm::core {
+
+SimResult simulate(const AllocTrace& trace, alloc::Allocator& manager,
+                   std::vector<TimelinePoint>* timeline,
+                   std::uint64_t timeline_stride) {
+  SimResult r;
+  const sysmem::SystemArena& arena = manager.arena();
+  struct LiveObj {
+    void* ptr;
+    std::uint32_t size;
+  };
+  std::unordered_map<std::uint32_t, LiveObj> live;
+  live.reserve(1024);
+  double footprint_sum = 0.0;
+  std::size_t live_bytes = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint16_t current_phase = 0;
+  for (const AllocEvent& e : trace.events()) {
+    if (e.phase != current_phase) {
+      current_phase = e.phase;
+      manager.set_phase(current_phase);
+    }
+    if (e.op == AllocEvent::Op::kAlloc) {
+      void* p = manager.allocate(e.size);
+      if (p == nullptr) {
+        ++r.failed_allocs;
+      } else {
+        live.emplace(e.id, LiveObj{p, e.size});
+        live_bytes += e.size;
+        if (live_bytes > r.peak_live_bytes) r.peak_live_bytes = live_bytes;
+      }
+    } else {
+      auto it = live.find(e.id);
+      if (it != live.end()) {
+        manager.deallocate(it->second.ptr);
+        live_bytes -= it->second.size;
+        live.erase(it);
+      }
+    }
+    const std::size_t fp = arena.footprint();
+    footprint_sum += static_cast<double>(fp);
+    if (fp > r.peak_footprint) r.peak_footprint = fp;
+    ++r.events;
+    if (timeline != nullptr && (r.events % timeline_stride) == 0) {
+      timeline->push_back({r.events, fp, manager.stats().live_bytes});
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.final_footprint = arena.footprint();
+  r.avg_footprint =
+      r.events > 0 ? footprint_sum / static_cast<double>(r.events) : 0.0;
+  if (timeline != nullptr) {
+    timeline->push_back(
+        {r.events, r.final_footprint, manager.stats().live_bytes});
+  }
+  // Tear down whatever the trace leaked so the manager can be destroyed
+  // cleanly (traces are normally closed; this is a guard).
+  for (auto& [id, obj] : live) manager.deallocate(obj.ptr);
+  return r;
+}
+
+SimResult simulate_fresh(
+    const AllocTrace& trace,
+    const std::function<std::unique_ptr<alloc::Allocator>(
+        sysmem::SystemArena&)>& factory,
+    std::vector<TimelinePoint>* timeline, std::uint64_t timeline_stride) {
+  sysmem::SystemArena arena;
+  auto manager = factory(arena);
+  return simulate(trace, *manager, timeline, timeline_stride);
+}
+
+}  // namespace dmm::core

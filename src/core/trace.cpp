@@ -1,0 +1,158 @@
+#include "dmm/core/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dmm/alloc/size_class.h"
+
+namespace dmm::core {
+
+void AllocTrace::append(const AllocTrace& other, std::uint16_t phase_offset) {
+  std::uint32_t id_offset = 0;
+  for (const AllocEvent& e : events_) {
+    id_offset = std::max(id_offset, e.id + 1);
+  }
+  for (AllocEvent e : other.events_) {
+    e.id += id_offset;
+    e.phase = static_cast<std::uint16_t>(e.phase + phase_offset);
+    events_.push_back(e);
+  }
+}
+
+void AllocTrace::close_leaks() {
+  std::unordered_set<std::uint32_t> live;
+  std::uint16_t last_phase = 0;
+  for (const AllocEvent& e : events_) {
+    last_phase = e.phase;
+    if (e.op == AllocEvent::Op::kAlloc) {
+      live.insert(e.id);
+    } else {
+      live.erase(e.id);
+    }
+  }
+  for (std::uint32_t id : live) record_free(id, last_phase);
+}
+
+bool AllocTrace::validate(std::string* why) const {
+  std::unordered_set<std::uint32_t> live;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const AllocEvent& e = events_[i];
+    if (e.op == AllocEvent::Op::kAlloc) {
+      if (!live.insert(e.id).second) {
+        if (why != nullptr) {
+          *why = "event " + std::to_string(i) + ": id reused while live";
+        }
+        return false;
+      }
+    } else {
+      if (live.erase(e.id) == 0) {
+        if (why != nullptr) {
+          *why = "event " + std::to_string(i) + ": free of a dead id";
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TraceStats AllocTrace::stats() const {
+  TraceStats s;
+  std::unordered_map<std::uint32_t, std::pair<std::uint32_t, std::uint64_t>>
+      live;  // id -> (size, alloc event index)
+  std::unordered_map<std::uint32_t, std::uint64_t> by_size;
+  std::size_t live_bytes = 0;
+  double size_sum = 0.0;
+  double lifetime_sum = 0.0;
+  std::uint64_t lifetime_n = 0;
+  std::uint16_t max_phase = 0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const AllocEvent& e = events_[i];
+    ++s.events;
+    max_phase = std::max(max_phase, e.phase);
+    if (e.op == AllocEvent::Op::kAlloc) {
+      ++s.allocs;
+      live[e.id] = {e.size, i};
+      live_bytes += e.size;
+      s.peak_live_bytes = std::max(s.peak_live_bytes, live_bytes);
+      s.peak_live_blocks = std::max(s.peak_live_blocks, live.size());
+      ++by_size[e.size];
+      size_sum += e.size;
+      s.min_size = s.allocs == 1 ? e.size : std::min(s.min_size, e.size);
+      s.max_size = std::max(s.max_size, e.size);
+      ++s.class_histogram[alloc::SizeClass::index_for(
+          e.size == 0 ? 1 : e.size)];
+    } else {
+      ++s.frees;
+      auto it = live.find(e.id);
+      if (it != live.end()) {
+        live_bytes -= it->second.first;
+        lifetime_sum += static_cast<double>(i - it->second.second);
+        ++lifetime_n;
+        live.erase(it);
+      }
+    }
+  }
+  s.distinct_sizes = by_size.size();
+  s.mean_size = s.allocs > 0 ? size_sum / static_cast<double>(s.allocs) : 0.0;
+  s.mean_lifetime_events =
+      lifetime_n > 0 ? lifetime_sum / static_cast<double>(lifetime_n) : 0.0;
+  s.phases = static_cast<std::uint16_t>(max_phase + 1);
+  // Keep only the 16 most frequent sizes.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ranked;
+  ranked.reserve(by_size.size());
+  for (auto& [size, count] : by_size) ranked.emplace_back(count, size);
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (std::size_t i = 0; i < ranked.size() && i < 16; ++i) {
+    s.top_sizes.emplace(ranked[i].second, ranked[i].first);
+  }
+  return s;
+}
+
+void AllocTrace::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror("AllocTrace::save");
+    return;
+  }
+  for (const AllocEvent& e : events_) {
+    if (e.op == AllocEvent::Op::kAlloc) {
+      std::fprintf(f, "a %u %u %u\n", e.id, e.size, e.phase);
+    } else {
+      std::fprintf(f, "f %u %u\n", e.id, e.phase);
+    }
+  }
+  std::fclose(f);
+}
+
+AllocTrace AllocTrace::load(const std::string& path) {
+  AllocTrace trace;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::perror("AllocTrace::load");
+    return trace;
+  }
+  char op = 0;
+  while (std::fscanf(f, " %c", &op) == 1) {
+    if (op == 'a') {
+      unsigned id = 0;
+      unsigned size = 0;
+      unsigned phase = 0;
+      if (std::fscanf(f, "%u %u %u", &id, &size, &phase) != 3) break;
+      trace.record_alloc(id, size, static_cast<std::uint16_t>(phase));
+    } else if (op == 'f') {
+      unsigned id = 0;
+      unsigned phase = 0;
+      if (std::fscanf(f, "%u %u", &id, &phase) != 2) break;
+      trace.record_free(id, static_cast<std::uint16_t>(phase));
+    } else {
+      break;
+    }
+  }
+  std::fclose(f);
+  return trace;
+}
+
+}  // namespace dmm::core

@@ -1,0 +1,27 @@
+#ifndef DMM_MANAGERS_REGISTRY_H
+#define DMM_MANAGERS_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dmm/alloc/allocator.h"
+#include "dmm/alloc/config.h"
+
+namespace dmm::managers {
+
+/// Factory over every manager in the library, so benches and examples can
+/// iterate "all Table 1 contenders" uniformly.
+///
+/// Recognised names: "kingsley", "lea", "regions", "obstacks", "custom"
+/// (the last one requires a decision vector).
+[[nodiscard]] std::unique_ptr<alloc::Allocator> make_manager(
+    const std::string& name, sysmem::SystemArena& arena,
+    const alloc::DmmConfig* custom_config = nullptr);
+
+/// The general-purpose / manually-customised baselines of Table 1.
+[[nodiscard]] const std::vector<std::string>& baseline_names();
+
+}  // namespace dmm::managers
+
+#endif  // DMM_MANAGERS_REGISTRY_H

@@ -1,0 +1,38 @@
+#include "dmm/managers/registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dmm/alloc/custom_manager.h"
+#include "dmm/managers/kingsley.h"
+#include "dmm/managers/lea.h"
+#include "dmm/managers/obstack.h"
+#include "dmm/managers/region.h"
+
+namespace dmm::managers {
+
+std::unique_ptr<alloc::Allocator> make_manager(
+    const std::string& name, sysmem::SystemArena& arena,
+    const alloc::DmmConfig* custom_config) {
+  if (name == "kingsley") return std::make_unique<KingsleyAllocator>(arena);
+  if (name == "lea") return std::make_unique<LeaAllocator>(arena);
+  if (name == "regions") return std::make_unique<RegionAllocator>(arena);
+  if (name == "obstacks") return std::make_unique<ObstackAllocator>(arena);
+  if (name == "custom") {
+    if (custom_config == nullptr) {
+      std::fprintf(stderr, "make_manager: 'custom' needs a decision vector\n");
+      std::abort();
+    }
+    return std::make_unique<alloc::CustomManager>(arena, *custom_config);
+  }
+  std::fprintf(stderr, "make_manager: unknown manager '%s'\n", name.c_str());
+  std::abort();
+}
+
+const std::vector<std::string>& baseline_names() {
+  static const std::vector<std::string> kNames = {"kingsley", "lea",
+                                                  "regions", "obstacks"};
+  return kNames;
+}
+
+}  // namespace dmm::managers

@@ -1,0 +1,112 @@
+#ifndef DMM_SYSMEM_SYSTEM_ARENA_H
+#define DMM_SYSMEM_SYSTEM_ARENA_H
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "dmm/sysmem/arena_stats.h"
+
+namespace dmm::sysmem {
+
+/// Simulated OS memory interface (the paper's "system memory").
+///
+/// Every dynamic-memory manager in this library draws *all* of its storage
+/// from a SystemArena, mimicking sbrk()/mmap() on the embedded OS the paper
+/// targets.  The arena therefore observes the exact footprint each manager
+/// imposes on the platform:
+///
+///   * request(bytes)  — obtain a chunk from the OS (rounded up to the page
+///                       granularity); counted into the footprint.
+///   * release(chunk)  — hand a chunk back to the OS (what the paper calls
+///                       "returned back to the system for other
+///                       applications"); removed from the footprint.
+///
+/// The arena optionally enforces a capacity budget, modelling the limited
+/// physical memory of a portable consumer device: a request that would
+/// exceed the budget fails (returns nullptr) instead of growing.
+///
+/// An observer callback fires on every footprint change; the trace
+/// simulator uses it to record the Fig. 5 footprint-over-time series.
+///
+/// The arena is deliberately single-threaded: the paper's methodology is
+/// applied per application phase on an embedded RTOS where the manager runs
+/// under one lock anyway.  (Thread-safety would only blur the footprint
+/// accounting the experiments need.)
+class SystemArena {
+ public:
+  /// Page granularity used to round requests, like an MMU page.
+  static constexpr std::size_t kDefaultPageSize = 4096;
+
+  /// Signature: (stats, delta_bytes) with delta>0 for growth, <0 for shrink.
+  using Observer = std::function<void(const ArenaStats&, long long)>;
+
+  /// Creates an arena with unlimited capacity.
+  SystemArena() : SystemArena(0, kDefaultPageSize) {}
+
+  /// @param capacity_bytes  0 = unlimited; otherwise hard budget.
+  /// @param page_size       rounding granularity for requests (power of 2).
+  explicit SystemArena(std::size_t capacity_bytes,
+                       std::size_t page_size = kDefaultPageSize);
+
+  SystemArena(const SystemArena&) = delete;
+  SystemArena& operator=(const SystemArena&) = delete;
+  ~SystemArena();
+
+  /// Obtains @p bytes (rounded up to the page size) from the simulated OS.
+  /// Returns nullptr if the capacity budget would be exceeded.
+  /// The actual granted size is written to *granted (if non-null).
+  [[nodiscard]] std::byte* request(std::size_t bytes,
+                                   std::size_t* granted = nullptr);
+
+  /// Returns a chunk previously obtained with request().
+  /// @p ptr must be exactly a pointer returned by request() and not yet
+  /// released; anything else aborts (memory-corruption tripwire).
+  void release(std::byte* ptr);
+
+  /// Size that request(bytes) would actually grant (page rounding).
+  [[nodiscard]] std::size_t rounded(std::size_t bytes) const;
+
+  [[nodiscard]] const ArenaStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t page_size() const { return page_size_; }
+
+  /// Bytes currently held from the OS.  Convenience accessor.
+  [[nodiscard]] std::size_t footprint() const {
+    return stats_.current_footprint;
+  }
+  /// High-water mark — the paper's "maximum memory footprint".
+  [[nodiscard]] std::size_t peak_footprint() const {
+    return stats_.peak_footprint;
+  }
+
+  /// Resets the peak to the current footprint (used between workload
+  /// phases when measuring per-phase peaks).
+  void reset_peak() { stats_.peak_footprint = stats_.current_footprint; }
+
+  /// Installs (or clears, with nullptr) the footprint-change observer.
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+  /// Number of chunks currently granted and not yet released.
+  [[nodiscard]] std::size_t live_chunks() const { return grants_.size(); }
+
+  /// True iff @p ptr is a currently live grant of this arena.
+  [[nodiscard]] bool owns(const std::byte* ptr) const;
+
+  /// Size of the live grant starting at @p ptr (0 if not a live grant).
+  [[nodiscard]] std::size_t grant_size(const std::byte* ptr) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t page_size_;
+  ArenaStats stats_;
+  Observer observer_;
+  // Live grants: base pointer -> granted size.  unordered_map keeps
+  // release() O(1); the arena is bookkeeping, not the hot path under test.
+  std::unordered_map<const std::byte*, std::size_t> grants_;
+};
+
+}  // namespace dmm::sysmem
+
+#endif  // DMM_SYSMEM_SYSTEM_ARENA_H

@@ -1,0 +1,88 @@
+#include "dmm/sysmem/system_arena.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+namespace dmm::sysmem {
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "dmm::sysmem fatal: %s\n", what);
+  std::abort();
+}
+
+bool is_power_of_two(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+SystemArena::SystemArena(std::size_t capacity_bytes, std::size_t page_size)
+    : capacity_(capacity_bytes), page_size_(page_size) {
+  if (!is_power_of_two(page_size_)) {
+    die("page size must be a power of two");
+  }
+}
+
+SystemArena::~SystemArena() {
+  // Managers are expected to release everything; leaked grants are freed
+  // here so the process stays clean, but tests assert live_chunks()==0.
+  for (auto& [ptr, size] : grants_) {
+    ::operator delete(const_cast<std::byte*>(ptr),
+                      std::align_val_t{alignof(std::max_align_t)});
+  }
+}
+
+std::size_t SystemArena::rounded(std::size_t bytes) const {
+  if (bytes == 0) bytes = 1;
+  return (bytes + page_size_ - 1) & ~(page_size_ - 1);
+}
+
+std::byte* SystemArena::request(std::size_t bytes, std::size_t* granted) {
+  const std::size_t size = rounded(bytes);
+  if (capacity_ != 0 && stats_.current_footprint + size > capacity_) {
+    ++stats_.failed_requests;
+    return nullptr;
+  }
+  auto* ptr = static_cast<std::byte*>(::operator new(
+      size, std::align_val_t{alignof(std::max_align_t)}, std::nothrow));
+  if (ptr == nullptr) {
+    ++stats_.failed_requests;
+    return nullptr;
+  }
+  grants_.emplace(ptr, size);
+  stats_.current_footprint += size;
+  stats_.total_requested += size;
+  ++stats_.request_count;
+  if (stats_.current_footprint > stats_.peak_footprint) {
+    stats_.peak_footprint = stats_.current_footprint;
+  }
+  if (granted != nullptr) *granted = size;
+  if (observer_) observer_(stats_, static_cast<long long>(size));
+  return ptr;
+}
+
+void SystemArena::release(std::byte* ptr) {
+  auto it = grants_.find(ptr);
+  if (it == grants_.end()) {
+    die("release() of a pointer that is not a live grant");
+  }
+  const std::size_t size = it->second;
+  grants_.erase(it);
+  ::operator delete(ptr, std::align_val_t{alignof(std::max_align_t)});
+  stats_.current_footprint -= size;
+  stats_.total_released += size;
+  ++stats_.release_count;
+  if (observer_) observer_(stats_, -static_cast<long long>(size));
+}
+
+bool SystemArena::owns(const std::byte* ptr) const {
+  return grants_.contains(ptr);
+}
+
+std::size_t SystemArena::grant_size(const std::byte* ptr) const {
+  auto it = grants_.find(ptr);
+  return it == grants_.end() ? 0 : it->second;
+}
+
+}  // namespace dmm::sysmem

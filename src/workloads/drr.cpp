@@ -1,0 +1,154 @@
+#include "dmm/workloads/drr.h"
+
+#include <cstring>
+
+namespace dmm::workloads {
+
+DrrScheduler::DrrScheduler(alloc::Allocator& manager, std::uint16_t flows,
+                           DrrConfig cfg)
+    : manager_(&manager), cfg_(cfg), queues_(flows) {
+  stats_.per_flow_bytes.assign(flows, 0);
+  ring_.reserve(flows);
+}
+
+DrrScheduler::~DrrScheduler() {
+  // Drain every queue so the manager ends clean.
+  for (Queue& q : queues_) {
+    Node* n = q.head;
+    while (n != nullptr) {
+      Node* next = n->next;
+      manager_->deallocate(n->payload);
+      manager_->deallocate(n);
+      n = next;
+    }
+    q.head = q.tail = nullptr;
+  }
+}
+
+void DrrScheduler::activate(std::uint16_t flow) {
+  Queue& q = queues_[flow];
+  if (!q.active) {
+    q.active = true;
+    ring_.push_back(flow);
+  }
+}
+
+bool DrrScheduler::enqueue(const Packet& packet) {
+  Queue& q = queues_[packet.flow];
+  if (q.packets >= cfg_.max_queue_packets) {
+    ++stats_.dropped_packets;
+    return false;
+  }
+  // Payload buffer first (the actual packet bytes), then the queue node.
+  auto* payload =
+      static_cast<std::byte*>(manager_->allocate(packet.size));
+  if (payload == nullptr) {
+    ++stats_.dropped_packets;
+    return false;
+  }
+  auto* node = static_cast<Node*>(manager_->allocate(sizeof(Node)));
+  if (node == nullptr) {
+    manager_->deallocate(payload);
+    ++stats_.dropped_packets;
+    return false;
+  }
+  // Touch the payload like a real forwarding path would (header rewrite).
+  std::memset(payload, static_cast<int>(packet.size & 0xFF),
+              packet.size < 64 ? packet.size : 64);
+  node->next = nullptr;
+  node->payload = payload;
+  node->size = packet.size;
+  if (q.tail != nullptr) {
+    q.tail->next = node;
+  } else {
+    q.head = node;
+  }
+  q.tail = node;
+  ++q.packets;
+  ++queued_packets_;
+  queued_bytes_ += packet.size;
+  if (queued_bytes_ > stats_.peak_queued_bytes) {
+    stats_.peak_queued_bytes = queued_bytes_;
+  }
+  if (queued_packets_ > stats_.peak_queued_packets) {
+    stats_.peak_queued_packets = queued_packets_;
+  }
+  activate(packet.flow);
+  return true;
+}
+
+void DrrScheduler::drop_or_free_node(Node* node) {
+  manager_->deallocate(node->payload);
+  manager_->deallocate(node);
+}
+
+void DrrScheduler::serve_bytes(std::uint64_t budget) {
+  while (budget > 0 && !ring_.empty()) {
+    if (ring_pos_ >= ring_.size()) ring_pos_ = 0;
+    const std::uint16_t flow = ring_[ring_pos_];
+    Queue& q = queues_[flow];
+    if (resume_mid_visit_) {
+      // This visit already received its quantum before the link budget
+      // ran out; do not credit it twice.
+      resume_mid_visit_ = false;
+    } else {
+      q.deficit += cfg_.quantum;
+    }
+    // Serve head packets while the deficit and the link budget allow.
+    while (q.head != nullptr && q.head->size <= q.deficit &&
+           q.head->size <= budget) {
+      Node* node = q.head;
+      q.head = node->next;
+      if (q.head == nullptr) q.tail = nullptr;
+      q.deficit -= node->size;
+      budget -= node->size;
+      --q.packets;
+      --queued_packets_;
+      queued_bytes_ -= node->size;
+      ++stats_.forwarded_packets;
+      stats_.forwarded_bytes += node->size;
+      stats_.per_flow_bytes[flow] += node->size;
+      drop_or_free_node(node);
+    }
+    if (q.head == nullptr) {
+      // Queue emptied: leaves the ring and loses its deficit (DRR rule).
+      q.deficit = 0;
+      q.active = false;
+      ring_.erase(ring_.begin() + static_cast<long>(ring_pos_));
+      // ring_pos_ now points at the next queue already.
+    } else if (q.head->size <= q.deficit) {
+      // Eligible packet, but the link budget cannot carry it: it occupies
+      // the wire into the next service period.  Resume here, without a
+      // second quantum.
+      resume_mid_visit_ = true;
+      break;
+    } else {
+      ++ring_pos_;  // deficit too small: next queue
+    }
+  }
+}
+
+void DrrScheduler::run(const std::vector<Packet>& arrivals) {
+  std::uint64_t last_us = arrivals.empty() ? 0 : arrivals.front().arrival_us;
+  const double bits_per_us = cfg_.link_mbps;
+  for (const Packet& p : arrivals) {
+    // Link service between the previous arrival and this one.
+    const std::uint64_t elapsed = p.arrival_us - last_us;
+    last_us = p.arrival_us;
+    service_deficit_bits_ +=
+        static_cast<std::uint64_t>(static_cast<double>(elapsed) *
+                                   bits_per_us);
+    const std::uint64_t budget_bytes = service_deficit_bits_ / 8;
+    if (budget_bytes > 0) {
+      serve_bytes(budget_bytes);
+      service_deficit_bits_ -= budget_bytes * 8;
+    }
+    enqueue(p);
+  }
+  // Drain: keep serving until all queues empty.
+  while (queued_packets_ > 0) {
+    serve_bytes(64 * 1024);
+  }
+}
+
+}  // namespace dmm::workloads

@@ -1,0 +1,128 @@
+#include "dmm/workloads/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <random>
+
+namespace dmm::workloads {
+
+SyntheticImage::SyntheticImage(alloc::Allocator& manager, int width,
+                               int height, unsigned seed, int blobs)
+    : manager_(&manager),
+      width_(width),
+      height_(height),
+      blobs_(blobs),
+      scene_seed_(seed) {
+  data_ = static_cast<std::uint8_t*>(manager_->allocate(
+      static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_)));
+  render(seed, 0, 0);
+}
+
+SyntheticImage::~SyntheticImage() { manager_->deallocate(data_); }
+
+void SyntheticImage::redraw_displaced(unsigned seed, int dx, int dy) {
+  render(seed, dx, dy);
+}
+
+void SyntheticImage::render(unsigned noise_seed, int dx, int dy) {
+  std::mt19937 scene_rng(scene_seed_);
+  std::mt19937 noise_rng(noise_seed * 7919u + 13u);
+  std::uniform_int_distribution<int> noise(-6, 6);
+  // Noisy mid-gray background.
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+       ++i) {
+    data_[i] = static_cast<std::uint8_t>(
+        std::clamp(128 + noise(noise_rng), 0, 255));
+  }
+  // Rectangles with sharp edges (corners!) at seed-dependent positions.
+  std::uniform_int_distribution<int> px(0, width_ - 1);
+  std::uniform_int_distribution<int> py(0, height_ - 1);
+  std::uniform_int_distribution<int> ps(8, 80);
+  std::uniform_int_distribution<int> pi(0, 255);
+  for (int b = 0; b < blobs_; ++b) {
+    const int x0 = px(scene_rng) + dx;
+    const int y0 = py(scene_rng) + dy;
+    const int w = ps(scene_rng);
+    const int h = ps(scene_rng);
+    const auto value = static_cast<std::uint8_t>(pi(scene_rng));
+    for (int y = std::max(0, y0); y < std::min(height_, y0 + h); ++y) {
+      for (int x = std::max(0, x0); x < std::min(width_, x0 + w); ++x) {
+        const int v = value + noise(noise_rng);
+        data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+              static_cast<std::size_t>(x)] =
+            static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+      }
+    }
+  }
+}
+
+ManagedVector<Corner> detect_corners(alloc::Allocator& manager,
+                                     const SyntheticImage& image,
+                                     float threshold) {
+  const int w = image.width();
+  const int h = image.height();
+  const std::size_t plane = static_cast<std::size_t>(w) *
+                            static_cast<std::size_t>(h);
+  // Float gradient planes: the ">1 MB per frame" scratch of the real
+  // algorithm (640x480 x 4 B = 1.2 MB each).
+  auto* ix =
+      static_cast<float*>(manager.allocate(plane * sizeof(float)));
+  auto* iy =
+      static_cast<float*>(manager.allocate(plane * sizeof(float)));
+  auto idx = [w](int x, int y) {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+           static_cast<std::size_t>(x);
+  };
+  for (int y = 1; y < h - 1; ++y) {
+    for (int x = 1; x < w - 1; ++x) {
+      ix[idx(x, y)] = static_cast<float>(
+          static_cast<int>(image.at(x + 1, y)) - image.at(x - 1, y));
+      iy[idx(x, y)] = static_cast<float>(
+          static_cast<int>(image.at(x, y + 1)) - image.at(x, y - 1));
+    }
+  }
+
+  ManagedVector<Corner> corners{alloc::StlAdaptor<Corner>(manager)};
+  // Harris response over a 3x3 window, with 3x3 greedy non-max
+  // suppression via a minimum corner spacing.
+  const int step = 4;  // sparse grid: robust & fast, like real trackers
+  for (int y = 4; y < h - 4; y += step) {
+    for (int x = 4; x < w - 4; x += step) {
+      float sxx = 0.0f;
+      float syy = 0.0f;
+      float sxy = 0.0f;
+      for (int j = -1; j <= 1; ++j) {
+        for (int i = -1; i <= 1; ++i) {
+          const float gx = ix[idx(x + i, y + j)];
+          const float gy = iy[idx(x + i, y + j)];
+          sxx += gx * gx;
+          syy += gy * gy;
+          sxy += gx * gy;
+        }
+      }
+      const float det = sxx * syy - sxy * sxy;
+      const float trace = sxx + syy;
+      const float response = det - 0.04f * trace * trace;
+      if (response > threshold) {
+        Corner c;
+        c.x = static_cast<std::int16_t>(x);
+        c.y = static_cast<std::int16_t>(y);
+        c.response = response;
+        // 8-byte descriptor: the ring of neighbours at radius 2.
+        const int ring[8][2] = {{-2, -2}, {0, -2}, {2, -2}, {2, 0},
+                                {2, 2},   {0, 2},  {-2, 2}, {-2, 0}};
+        for (int k = 0; k < 8; ++k) {
+          c.descriptor[k] = image.at(x + ring[k][0], y + ring[k][1]);
+        }
+        corners.push_back(c);
+      }
+    }
+  }
+  manager.deallocate(iy);
+  manager.deallocate(ix);
+  return corners;
+}
+
+}  // namespace dmm::workloads

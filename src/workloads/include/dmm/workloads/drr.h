@@ -1,0 +1,105 @@
+#ifndef DMM_WORKLOADS_DRR_H
+#define DMM_WORKLOADS_DRR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dmm/alloc/allocator.h"
+#include "dmm/workloads/traffic.h"
+
+namespace dmm::workloads {
+
+/// Deficit Round Robin scheduler (Shreedhar & Varghese, SIGCOMM'95) — the
+/// paper's first case study, "a scheduling algorithm implemented in many
+/// routers today" from the NetBench suite.
+///
+/// One FIFO queue per flow; the scheduler visits active queues round-robin
+/// and each visit adds `quantum` bytes to the queue's deficit counter; the
+/// queue transmits head packets while their size fits in the deficit.
+/// This is O(1) fair queuing: flows receive bandwidth proportional to
+/// their quantum regardless of packet sizes.
+///
+/// All per-packet state is dynamic, through the Allocator under test:
+///   * the packet payload buffer (40..1500+ B — "memory blocks that vary
+///     greatly in size ... to store incoming packets"),
+///   * the queue node threading it into its flow's FIFO.
+///
+/// The run interleaves arrivals with link service at `link_mbps`, so
+/// queue build-up (and therefore DM footprint) follows the traffic's
+/// burstiness exactly as in the paper's router scenario.
+struct DrrConfig {
+  std::uint32_t quantum = 1500;    ///< bytes added per round visit
+  double link_mbps = 10.0;         ///< service rate
+  std::size_t max_queue_packets = 32;  ///< tail-drop bound per queue
+};
+
+struct DrrStats {
+  std::uint64_t forwarded_packets = 0;
+  std::uint64_t forwarded_bytes = 0;
+  std::uint64_t dropped_packets = 0;
+  std::size_t peak_queued_bytes = 0;
+  std::size_t peak_queued_packets = 0;
+  /// Bytes served per flow — DRR's fairness claim is that these are ~equal
+  /// for backlogged flows with equal quanta.
+  std::vector<std::uint64_t> per_flow_bytes;
+};
+
+class DrrScheduler {
+ public:
+  DrrScheduler(alloc::Allocator& manager, std::uint16_t flows,
+               DrrConfig cfg = {});
+  ~DrrScheduler();
+
+  DrrScheduler(const DrrScheduler&) = delete;
+  DrrScheduler& operator=(const DrrScheduler&) = delete;
+
+  /// Feeds the arrival trace through the router: packets are enqueued on
+  /// arrival and the link drains queues via DRR between arrivals.  At the
+  /// end the link keeps serving until all queues are empty.
+  void run(const std::vector<Packet>& arrivals);
+
+  /// Enqueues one packet (allocates payload + node).  Returns false on
+  /// tail drop or allocation failure.
+  bool enqueue(const Packet& packet);
+
+  /// Runs DRR service for @p bytes of link budget; frees what it sends.
+  void serve_bytes(std::uint64_t bytes);
+
+  [[nodiscard]] const DrrStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queued_bytes() const { return queued_bytes_; }
+  [[nodiscard]] std::size_t queued_packets() const {
+    return queued_packets_;
+  }
+
+ private:
+  struct Node {
+    Node* next;
+    std::byte* payload;
+    std::uint32_t size;
+  };
+  struct Queue {
+    Node* head = nullptr;
+    Node* tail = nullptr;
+    std::size_t packets = 0;
+    std::uint32_t deficit = 0;
+    bool active = false;  ///< in the active round-robin ring
+  };
+
+  void drop_or_free_node(Node* node);
+  void activate(std::uint16_t flow);
+
+  alloc::Allocator* manager_;
+  DrrConfig cfg_;
+  std::vector<Queue> queues_;
+  std::vector<std::uint16_t> ring_;  ///< active queue round-robin order
+  std::size_t ring_pos_ = 0;
+  bool resume_mid_visit_ = false;
+  std::size_t queued_bytes_ = 0;
+  std::size_t queued_packets_ = 0;
+  std::uint64_t service_deficit_bits_ = 0;
+  DrrStats stats_;
+};
+
+}  // namespace dmm::workloads
+
+#endif  // DMM_WORKLOADS_DRR_H

@@ -1,0 +1,73 @@
+#ifndef DMM_WORKLOADS_IMAGE_H
+#define DMM_WORKLOADS_IMAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dmm/alloc/allocator.h"
+#include "dmm/alloc/stl_adaptor.h"
+
+namespace dmm::workloads {
+
+/// Grayscale image whose pixels live in manager-allocated memory — the
+/// ">1 MB per 640x480 image" objects of the paper's second case study.
+/// (Grayscale plus the detector's two 16-bit gradient planes reproduces
+/// the same per-image dynamic footprint as the paper's colour frames.)
+class SyntheticImage {
+ public:
+  /// Renders a random scene: @p blobs rectangles of random intensity over
+  /// a noisy background.  Rectangle geometry depends on the seed, so the
+  /// number of detectable corners is unpredictable at "compile time" —
+  /// the very reason the paper's algorithm needs dynamic memory.
+  SyntheticImage(alloc::Allocator& manager, int width, int height,
+                 unsigned seed, int blobs = 40);
+  ~SyntheticImage();
+
+  SyntheticImage(const SyntheticImage&) = delete;
+  SyntheticImage& operator=(const SyntheticImage&) = delete;
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::uint8_t at(int x, int y) const {
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+
+  /// Redraws the same scene displaced by (dx, dy) with fresh noise —
+  /// the "relative displacement between frames" the reconstruction
+  /// estimates.
+  void redraw_displaced(unsigned seed, int dx, int dy);
+
+ private:
+  void render(unsigned seed, int dx, int dy);
+
+  alloc::Allocator* manager_;
+  int width_;
+  int height_;
+  int blobs_;
+  unsigned scene_seed_;
+  std::uint8_t* data_;
+};
+
+/// A detected corner feature with a tiny neighbourhood descriptor.
+struct Corner {
+  std::int16_t x = 0;
+  std::int16_t y = 0;
+  float response = 0.0f;
+  std::uint8_t descriptor[8] = {};
+};
+
+template <typename T>
+using ManagedVector = std::vector<T, alloc::StlAdaptor<T>>;
+
+/// Harris-style corner detector.  All working planes (two int16 gradient
+/// images) and the result list are allocated from @p manager, so the
+/// detector's considerable scratch footprint is part of the case study.
+[[nodiscard]] ManagedVector<Corner> detect_corners(
+    alloc::Allocator& manager, const SyntheticImage& image,
+    float threshold = 1e6f);
+
+}  // namespace dmm::workloads
+
+#endif  // DMM_WORKLOADS_IMAGE_H

@@ -1,0 +1,59 @@
+#ifndef DMM_WORKLOADS_RECON3D_H
+#define DMM_WORKLOADS_RECON3D_H
+
+#include <cstdint>
+
+#include "dmm/alloc/allocator.h"
+#include "dmm/workloads/image.h"
+
+namespace dmm::workloads {
+
+/// The paper's second case study: the corner-matching sub-algorithm of a
+/// metric 3D-reconstruction pipeline (Pollefeys et al. / Target jr),
+/// "where the relative displacement between frames is used to reconstruct
+/// the 3rd dimension".
+///
+/// Per frame pair: render frame A, render frame B (same scene displaced
+/// by an unknown (dx, dy)), detect corners in both, and for every corner
+/// in A build a *dynamic candidate list* of compatible corners in B
+/// (spatial window + descriptor distance).  The dominant displacement is
+/// recovered by voting over the candidate pairs.  "The number of possible
+/// corners to match varies on each image", so every frame's candidate
+/// structures have unpredictable sizes — the case study's DM signature.
+struct ReconConfig {
+  int width = 640;
+  int height = 480;
+  int pairs = 6;            ///< image pairs per run
+  int blobs = 40;           ///< scene complexity (drives corner counts)
+  int search_radius = 24;   ///< candidate window half-size
+  int descriptor_limit = 160;  ///< max L1 descriptor distance
+};
+
+struct ReconResult {
+  int pairs_processed = 0;
+  std::uint64_t corners_total = 0;
+  std::uint64_t candidates_total = 0;
+  int displacement_hits = 0;  ///< pairs whose (dx, dy) was recovered
+};
+
+class Recon3d {
+ public:
+  Recon3d(alloc::Allocator& manager, ReconConfig cfg = {})
+      : manager_(&manager), cfg_(cfg) {}
+
+  /// Processes cfg.pairs frame pairs seeded from @p seed.
+  ReconResult run(unsigned seed);
+
+ private:
+  struct Match {
+    std::int16_t ax, ay, bx, by;
+    int distance;
+  };
+
+  alloc::Allocator* manager_;
+  ReconConfig cfg_;
+};
+
+}  // namespace dmm::workloads
+
+#endif  // DMM_WORKLOADS_RECON3D_H

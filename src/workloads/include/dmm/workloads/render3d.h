@@ -1,0 +1,85 @@
+#ifndef DMM_WORKLOADS_RENDER3D_H
+#define DMM_WORKLOADS_RENDER3D_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dmm/alloc/allocator.h"
+
+namespace dmm::workloads {
+
+/// The paper's third case study: 3D video rendering with *scalable
+/// meshes*, "a new category of video algorithms that adapt the quality of
+/// each object on the screen ... according to the position of the user"
+/// (QoS level-of-detail rendering).
+///
+/// Scene model: a set of objects, each a progressive mesh — a small base
+/// mesh plus a stack of refinement layers.  Every frame the viewer moves;
+/// each object's target level of detail follows its distance, so layers
+/// are pushed (allocated) when the viewer approaches and popped (freed)
+/// when it recedes: textbook stack-like DM behaviour, which is why the
+/// paper also benchmarks Obstacks here.  Per frame the renderer also
+/// allocates transform/render buffers it frees at frame end (again
+/// LIFO).
+///
+/// The run ends with the *compositing phase* (phase 1): tile buffers are
+/// allocated for the whole screen and freed in data-dependent,
+/// out-of-order fashion as tiles complete — the non-stack phase where
+/// "Obstacks cannot exploit its stack-like optimizations" and pays its
+/// footprint penalty.
+struct RenderConfig {
+  int objects = 24;
+  int frames = 120;
+  int max_lod = 8;           ///< refinement layers per object
+  int base_vertices = 64;
+  std::uint32_t texture_bytes = 24 * 1024;  ///< lazy per-object texture
+  int screen_tiles = 48;     ///< compositing tiles (8x6 grid)
+  std::uint32_t tile_bytes = 32 * 1024;
+  int composite_rounds = 4;  ///< interleaved tile passes in phase 1
+  int overlays_per_round = 192;  ///< sprite buffers blended per pass
+};
+
+struct RenderResult {
+  std::uint64_t frames_rendered = 0;
+  std::uint64_t layers_pushed = 0;
+  std::uint64_t layers_popped = 0;
+  std::uint64_t vertices_transformed = 0;
+  std::uint64_t tiles_composited = 0;
+  double checksum = 0.0;  ///< keeps the transform work observable
+};
+
+class MeshRenderer {
+ public:
+  MeshRenderer(alloc::Allocator& manager, RenderConfig cfg = {})
+      : manager_(&manager), cfg_(cfg) {}
+
+  /// Renders cfg.frames frames (phase 0) then runs the compositing phase
+  /// (phase 1).  Phases are announced through Allocator::set_phase so
+  /// profilers and global managers can follow.
+  RenderResult run(unsigned seed);
+
+ private:
+  struct Vertex {
+    float x, y, z;
+  };
+  struct Layer {
+    Vertex* vertices;
+    int count;
+  };
+  struct Object {
+    float ox, oy, oz;       ///< world position
+    Vertex* base;           ///< base mesh vertices
+    std::byte* texture = nullptr;  ///< streamed in on first close approach
+    std::vector<Layer> lod; ///< active refinement stack
+  };
+
+  [[nodiscard]] int target_lod(const Object& obj, float vx, float vy,
+                               float vz) const;
+
+  alloc::Allocator* manager_;
+  RenderConfig cfg_;
+};
+
+}  // namespace dmm::workloads
+
+#endif  // DMM_WORKLOADS_RENDER3D_H

@@ -1,0 +1,37 @@
+#ifndef DMM_WORKLOADS_WORKLOAD_H
+#define DMM_WORKLOADS_WORKLOAD_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dmm/alloc/allocator.h"
+#include "dmm/core/trace.h"
+
+namespace dmm::workloads {
+
+/// One of the paper's case studies, runnable against any manager.
+struct Workload {
+  std::string name;         ///< "drr", "recon3d", "render3d"
+  std::string table1_name;  ///< column title as in Table 1
+  /// Runs the application once; every dynamic byte goes through @p m.
+  std::function<void(alloc::Allocator& m, unsigned seed)> run;
+  /// Managers Table 1 reports for this column (plus "custom").
+  std::vector<std::string> table1_baselines;
+};
+
+/// The three case studies of Sec. 5, in paper order.
+[[nodiscard]] const std::vector<Workload>& case_studies();
+
+/// Looks a case study up by name; aborts on unknown names.
+[[nodiscard]] const Workload& case_study(const std::string& name);
+
+/// Profiles a case study: runs it once on a scratch manager under the
+/// ProfilingAllocator and returns the captured allocation trace
+/// (methodology step 1).
+[[nodiscard]] core::AllocTrace record_trace(const Workload& workload,
+                                            unsigned seed);
+
+}  // namespace dmm::workloads
+
+#endif  // DMM_WORKLOADS_WORKLOAD_H

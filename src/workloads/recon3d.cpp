@@ -1,0 +1,156 @@
+#include "dmm/workloads/recon3d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <unordered_map>
+
+namespace dmm::workloads {
+
+ReconResult Recon3d::run(unsigned seed) {
+  ReconResult result;
+  std::mt19937 rng(seed * 40503u + 271u);
+  std::uniform_int_distribution<int> shift(-12, 12);
+  for (int pair = 0; pair < cfg_.pairs; ++pair) {
+    const unsigned scene = seed * 131u + static_cast<unsigned>(pair);
+    const int dx = shift(rng);
+    const int dy = shift(rng);
+
+    // Frame A and displaced frame B (the >1 MB dynamic objects).
+    SyntheticImage a(*manager_, cfg_.width, cfg_.height, scene, cfg_.blobs);
+    SyntheticImage b(*manager_, cfg_.width, cfg_.height, scene, cfg_.blobs);
+    b.redraw_displaced(scene + 999u, dx, dy);
+
+    ManagedVector<Corner> ca = detect_corners(*manager_, a);
+    ManagedVector<Corner> cb = detect_corners(*manager_, b);
+    result.corners_total += ca.size() + cb.size();
+
+    // Spatial hash of B's corners so candidate search touches the image
+    // data in a randomized order (the paper: row-major optimisations do
+    // not apply here).
+    const int cell = cfg_.search_radius;
+    std::unordered_map<int, ManagedVector<int>> grid;
+    for (std::size_t i = 0; i < cb.size(); ++i) {
+      const int key = (cb[i].x / cell) * 4096 + (cb[i].y / cell);
+      auto it = grid.find(key);
+      if (it == grid.end()) {
+        it = grid.emplace(key, ManagedVector<int>{
+                                   alloc::StlAdaptor<int>(*manager_)})
+                 .first;
+      }
+      it->second.push_back(static_cast<int>(i));
+    }
+
+    // Candidate lists per corner of A: dynamically sized, data dependent.
+    ManagedVector<Match> matches{alloc::StlAdaptor<Match>(*manager_)};
+    for (const Corner& c : ca) {
+      ManagedVector<int> candidates{alloc::StlAdaptor<int>(*manager_)};
+      for (int gx = c.x / cell - 1; gx <= c.x / cell + 1; ++gx) {
+        for (int gy = c.y / cell - 1; gy <= c.y / cell + 1; ++gy) {
+          auto it = grid.find(gx * 4096 + gy);
+          if (it == grid.end()) continue;
+          for (int bi : it->second) {
+            const Corner& d = cb[static_cast<std::size_t>(bi)];
+            if (std::abs(d.x - c.x) <= cfg_.search_radius &&
+                std::abs(d.y - c.y) <= cfg_.search_radius) {
+              candidates.push_back(bi);
+            }
+          }
+        }
+      }
+      result.candidates_total += candidates.size();
+      // Best descriptor match within the window.
+      int best = -1;
+      int best_dist = cfg_.descriptor_limit;
+      for (int bi : candidates) {
+        const Corner& d = cb[static_cast<std::size_t>(bi)];
+        int dist = 0;
+        for (int k = 0; k < 8; ++k) {
+          dist += std::abs(static_cast<int>(c.descriptor[k]) -
+                           static_cast<int>(d.descriptor[k]));
+        }
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = bi;
+        }
+      }
+      if (best >= 0) {
+        const Corner& d = cb[static_cast<std::size_t>(best)];
+        matches.push_back({c.x, c.y, d.x, d.y, best_dist});
+      }
+    }
+
+    // Patch verification: extract a pixel patch around both ends of every
+    // tentative match and keep the pairs until the pair is finished (the
+    // correlation-verification stage of the real pipeline).  This stage
+    // runs *after* the gradient planes are gone — a manager that recycles
+    // the planes' memory here wins; one that holds per-size regions pays.
+    constexpr int kPatch = 32;
+    ManagedVector<std::byte*> patches{
+        alloc::StlAdaptor<std::byte*>(*manager_)};
+    auto extract = [&](const SyntheticImage& img, int cx, int cy) {
+      auto* patch = static_cast<std::byte*>(
+          manager_->allocate(kPatch * kPatch));
+      for (int j = 0; j < kPatch; ++j) {
+        for (int i = 0; i < kPatch; ++i) {
+          const int x = std::clamp(cx + i - kPatch / 2, 0, cfg_.width - 1);
+          const int y = std::clamp(cy + j - kPatch / 2, 0, cfg_.height - 1);
+          patch[j * kPatch + i] = static_cast<std::byte>(img.at(x, y));
+        }
+      }
+      patches.push_back(patch);
+      return patch;
+    };
+    std::uint64_t ssd_accum = 0;
+    for (const Match& m : matches) {
+      const std::byte* pa = extract(a, m.ax, m.ay);
+      const std::byte* pb = extract(b, m.bx, m.by);
+      for (int k = 0; k < kPatch * kPatch; ++k) {
+        const int d = static_cast<int>(pa[k]) - static_cast<int>(pb[k]);
+        ssd_accum += static_cast<std::uint64_t>(d * d);
+      }
+    }
+    (void)ssd_accum;
+
+    // Displacement voting.
+    std::unordered_map<int, int> votes;
+    for (const Match& m : matches) {
+      votes[(m.bx - m.ax + 64) * 256 + (m.by - m.ay + 64)] += 1;
+    }
+    int best_key = 0;
+    int best_votes = 0;
+    for (const auto& [key, count] : votes) {
+      if (count > best_votes) {
+        best_votes = count;
+        best_key = key;
+      }
+    }
+    // Centroid refinement: the detector samples on a sparse grid, so the
+    // true displacement smears over neighbouring vote bins; average the
+    // bins near the argmax, weighted by vote count.
+    const int peak_dx = best_key / 256 - 64;
+    const int peak_dy = best_key % 256 - 64;
+    double wx = 0.0;
+    double wy = 0.0;
+    double wsum = 0.0;
+    for (const auto& [key, count] : votes) {
+      const int vdx = key / 256 - 64;
+      const int vdy = key % 256 - 64;
+      if (std::abs(vdx - peak_dx) <= 4 && std::abs(vdy - peak_dy) <= 4) {
+        wx += static_cast<double>(count) * vdx;
+        wy += static_cast<double>(count) * vdy;
+        wsum += static_cast<double>(count);
+      }
+    }
+    const int est_dx = static_cast<int>(std::lround(wx / wsum));
+    const int est_dy = static_cast<int>(std::lround(wy / wsum));
+    if (std::abs(est_dx - dx) <= 2 && std::abs(est_dy - dy) <= 2) {
+      ++result.displacement_hits;
+    }
+    for (std::byte* patch : patches) manager_->deallocate(patch);
+    ++result.pairs_processed;
+  }
+  return result;
+}
+
+}  // namespace dmm::workloads

@@ -1,0 +1,190 @@
+#include "dmm/workloads/render3d.h"
+
+#include <cmath>
+#include <random>
+
+namespace dmm::workloads {
+
+namespace {
+// Vertices added by refinement layer k: geometric growth, as in
+// progressive-mesh level-of-detail schemes.
+int layer_vertices(int base, int k) { return base << (k / 2); }
+}  // namespace
+
+int MeshRenderer::target_lod(const Object& obj, float vx, float vy,
+                             float vz) const {
+  const float dx = obj.ox - vx;
+  const float dy = obj.oy - vy;
+  const float dz = obj.oz - vz;
+  const float dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+  // Nearer objects get more refinement layers (QoS rule).
+  const float t = 1.0f - std::min(dist / 200.0f, 1.0f);
+  return static_cast<int>(t * static_cast<float>(cfg_.max_lod) + 0.5f);
+}
+
+RenderResult MeshRenderer::run(unsigned seed) {
+  RenderResult result;
+  std::mt19937 rng(seed * 69069u + 7u);
+  std::uniform_real_distribution<float> coord(-100.0f, 100.0f);
+
+  manager_->set_phase(0);  // frame loop: the stack-like phase
+
+  // Scene setup: base meshes.
+  std::vector<Object> objects(static_cast<std::size_t>(cfg_.objects));
+  for (Object& o : objects) {
+    o.ox = coord(rng);
+    o.oy = coord(rng);
+    o.oz = coord(rng);
+    o.base = static_cast<Vertex*>(manager_->allocate(
+        sizeof(Vertex) * static_cast<std::size_t>(cfg_.base_vertices)));
+    for (int v = 0; v < cfg_.base_vertices; ++v) {
+      o.base[v] = {o.ox + coord(rng) * 0.05f, o.oy + coord(rng) * 0.05f,
+                   o.oz + coord(rng) * 0.05f};
+    }
+  }
+
+  // Viewer orbit.
+  for (int frame = 0; frame < cfg_.frames; ++frame) {
+    const float angle =
+        static_cast<float>(frame) * 6.283f / static_cast<float>(cfg_.frames);
+    const float vx = 120.0f * std::cos(angle * 2.0f);
+    const float vy = 40.0f * std::sin(angle * 3.0f);
+    const float vz = 120.0f * std::sin(angle * 2.0f);
+
+    // LOD adaptation: push/pop refinement layers per object.
+    for (Object& o : objects) {
+      const int target = target_lod(o, vx, vy, vz);
+      // Texture streaming: fetched on the first close approach, kept for
+      // the rest of the sequence (long-lived survivors interleaved with
+      // the transient refinement data).
+      if (target >= cfg_.max_lod / 2 && o.texture == nullptr) {
+        o.texture =
+            static_cast<std::byte*>(manager_->allocate(cfg_.texture_bytes));
+        o.texture[0] = std::byte{0x42};
+      }
+      while (static_cast<int>(o.lod.size()) < target) {
+        const int k = static_cast<int>(o.lod.size());
+        const int count = layer_vertices(cfg_.base_vertices, k);
+        auto* verts = static_cast<Vertex*>(manager_->allocate(
+            sizeof(Vertex) * static_cast<std::size_t>(count)));
+        for (int v = 0; v < count; ++v) {
+          verts[v] = {o.ox + coord(rng) * 0.02f, o.oy + coord(rng) * 0.02f,
+                      o.oz + coord(rng) * 0.02f};
+        }
+        o.lod.push_back({verts, count});
+        ++result.layers_pushed;
+      }
+      while (static_cast<int>(o.lod.size()) > target) {
+        manager_->deallocate(o.lod.back().vertices);  // LIFO pop
+        o.lod.pop_back();
+        ++result.layers_popped;
+      }
+    }
+
+    // Render pass: one transform buffer per object (the per-object render
+    // lists of the QoS renderer), freed in reverse order at frame end —
+    // the stack-like behaviour Obstacks exploits.
+    std::vector<Vertex*> render_lists;
+    render_lists.reserve(objects.size());
+    for (const Object& o : objects) {
+      std::size_t active = static_cast<std::size_t>(cfg_.base_vertices);
+      for (const Layer& l : o.lod) active += static_cast<std::size_t>(l.count);
+      auto* list =
+          static_cast<Vertex*>(manager_->allocate(sizeof(Vertex) * active));
+      std::size_t out = 0;
+      auto emit = [&](const Vertex& v) {
+        list[out++] = {v.x - vx, v.y - vy, v.z - vz};
+      };
+      for (int v = 0; v < cfg_.base_vertices; ++v) emit(o.base[v]);
+      for (const Layer& l : o.lod) {
+        for (int v = 0; v < l.count; ++v) emit(l.vertices[v]);
+      }
+      result.vertices_transformed += out;
+      result.checksum += list[out / 2].x;
+      render_lists.push_back(list);
+    }
+    for (auto it = render_lists.rbegin(); it != render_lists.rend(); ++it) {
+      manager_->deallocate(*it);
+    }
+    ++result.frames_rendered;
+  }
+
+  // Tear down the LOD stacks (receding viewer at sequence end).
+  for (Object& o : objects) {
+    while (!o.lod.empty()) {
+      manager_->deallocate(o.lod.back().vertices);
+      o.lod.pop_back();
+      ++result.layers_popped;
+    }
+  }
+
+  // ---- Phase 1: compositing — the non-stack final phase -----------------
+  manager_->set_phase(1);
+  std::vector<std::byte*> tiles(static_cast<std::size_t>(cfg_.screen_tiles),
+                                nullptr);
+  std::vector<std::byte*> held_overlays;
+  std::uniform_int_distribution<int> pick(0, cfg_.screen_tiles - 1);
+  std::uniform_int_distribution<std::uint32_t> overlay_size(512, 3072);
+  for (int round = 0; round < cfg_.composite_rounds; ++round) {
+    // Allocate all surface tiles of this pass...
+    for (auto& tile : tiles) {
+      if (tile == nullptr) {
+        tile = static_cast<std::byte*>(manager_->allocate(cfg_.tile_bytes));
+        tile[0] = std::byte{0xCC};
+      }
+    }
+    // ...plus the sprite/overlay buffers blended onto them.  Overlays
+    // retire in data-dependent order and every eighth one survives into
+    // later passes — the out-of-order churn that defeats stack reclaim.
+    std::vector<std::byte*> overlays;
+    for (int i = 0; i < cfg_.overlays_per_round; ++i) {
+      auto* overlay =
+          static_cast<std::byte*>(manager_->allocate(overlay_size(rng)));
+      overlay[0] = std::byte{0xEE};
+      overlays.push_back(overlay);
+    }
+    for (int i = 0; i < static_cast<int>(overlays.size()); ++i) {
+      std::swap(overlays[static_cast<std::size_t>(i)],
+                overlays[rng() % overlays.size()]);
+    }
+    for (std::size_t i = 0; i < overlays.size(); ++i) {
+      if (i % 8 == 0 && round + 1 < cfg_.composite_rounds) {
+        held_overlays.push_back(overlays[i]);
+      } else {
+        manager_->deallocate(overlays[i]);
+      }
+    }
+    // Tiles retire shuffled too, an eighth carried into the next pass.
+    for (int i = 0; i < cfg_.screen_tiles; ++i) {
+      const int a = pick(rng);
+      const int b = pick(rng);
+      std::swap(tiles[static_cast<std::size_t>(a)],
+                tiles[static_cast<std::size_t>(b)]);
+    }
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+      const bool keep = (rng() % 8 == 0) && round + 1 < cfg_.composite_rounds;
+      if (!keep && tiles[i] != nullptr) {
+        manager_->deallocate(tiles[i]);
+        tiles[i] = nullptr;
+        ++result.tiles_composited;
+      }
+    }
+  }
+  for (std::byte* overlay : held_overlays) manager_->deallocate(overlay);
+  for (auto& tile : tiles) {
+    if (tile != nullptr) {
+      manager_->deallocate(tile);
+      tile = nullptr;
+      ++result.tiles_composited;
+    }
+  }
+
+  // Scene teardown.
+  for (Object& o : objects) {
+    if (o.texture != nullptr) manager_->deallocate(o.texture);
+    manager_->deallocate(o.base);
+  }
+  return result;
+}
+
+}  // namespace dmm::workloads

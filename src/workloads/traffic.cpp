@@ -1,0 +1,101 @@
+#include "dmm/workloads/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace dmm::workloads {
+
+namespace {
+
+std::uint32_t draw_packet_size(std::mt19937& rng) {
+  // Trimodal internet mix with jitter (see header).
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_int_distribution<std::uint32_t> jitter_small(0, 24);
+  std::uniform_int_distribution<std::uint32_t> jitter_mid(0, 400);
+  const double x = u(rng);
+  if (x < 0.50) return 40 + jitter_small(rng);
+  if (x < 0.70) return 576 + jitter_small(rng);
+  if (x < 0.95) return 1500 - jitter_small(rng);
+  return 100 + jitter_mid(rng) * 3;  // the long tail of odd sizes
+}
+
+double draw_pareto(std::mt19937& rng, double alpha, double mean) {
+  // Pareto with unit minimum scaled so that E[X] = mean (alpha > 1).
+  std::uniform_real_distribution<double> u(
+      std::numeric_limits<double>::min(), 1.0);
+  const double xm = mean * (alpha - 1.0) / alpha;
+  return xm / std::pow(u(rng), 1.0 / alpha);
+}
+
+}  // namespace
+
+std::vector<Packet> TrafficGenerator::generate(unsigned seed) const {
+  std::mt19937 rng(seed * 2654435761u + 12345u);
+  struct FlowState {
+    std::uint64_t next_us = 0;    ///< next activity time
+    std::uint32_t burst_left = 0; ///< packets left in the current burst
+  };
+  std::vector<FlowState> flows(cfg_.flows);
+  std::uniform_int_distribution<std::uint64_t> start_jitter(0, 20000);
+  for (FlowState& f : flows) f.next_us = start_jitter(rng);
+
+  // Mean packet size of the mix is ~600 B.  During an ON period a flow
+  // sends at `on_speedup` times its fair share; the OFF period is sized
+  // so the long-run average rate matches link_mbps * load_factor exactly:
+  //   cycle = N*g_on + N*g_on*(s-1)  =>  avg rate = 1 / (s * g_on).
+  const double offered_bps = cfg_.link_mbps * 1e6 * cfg_.load_factor;
+  const double mean_packet_bits = 600.0 * 8.0;
+  const double aggregate_pps = offered_bps / mean_packet_bits;
+  const double s = cfg_.on_speedup;
+  const double per_flow_gap_us = 1e6 * cfg_.flows / aggregate_pps / s;
+  const double idle_per_burst_packet_us = per_flow_gap_us * (s - 1.0);
+
+  std::vector<Packet> trace;
+  trace.reserve(cfg_.packets);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  while (trace.size() < cfg_.packets) {
+    // Next event = flow with the earliest activity time.
+    std::size_t fi = 0;
+    for (std::size_t i = 1; i < flows.size(); ++i) {
+      if (flows[i].next_us < flows[fi].next_us) fi = i;
+    }
+    FlowState& f = flows[fi];
+    if (f.burst_left == 0) {
+      // Start a new ON period; its length is Pareto (heavy-tailed).
+      f.burst_left = static_cast<std::uint32_t>(std::max(
+          1.0, draw_pareto(rng, cfg_.pareto_alpha, cfg_.mean_burst_packets)));
+    }
+    trace.push_back({f.next_us, draw_packet_size(rng),
+                     static_cast<std::uint16_t>(fi)});
+    --f.burst_left;
+    if (f.burst_left == 0) {
+      // OFF period: Pareto idle whose mean balances the ON speedup so the
+      // long-run offered load matches the calibration.
+      const double idle = draw_pareto(
+          rng, cfg_.pareto_alpha,
+          cfg_.mean_burst_packets * idle_per_burst_packet_us);
+      f.next_us += static_cast<std::uint64_t>(idle);
+    } else {
+      const double gap = per_flow_gap_us * (0.5 + u(rng));
+      f.next_us += static_cast<std::uint64_t>(std::max(1.0, gap));
+    }
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const Packet& a, const Packet& b) {
+              return a.arrival_us < b.arrival_us;
+            });
+  return trace;
+}
+
+double TrafficGenerator::size_share(const std::vector<Packet>& trace,
+                                    std::uint32_t lo, std::uint32_t hi) {
+  if (trace.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const Packet& p : trace) {
+    if (p.size >= lo && p.size <= hi) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(trace.size());
+}
+
+}  // namespace dmm::workloads

@@ -1,0 +1,64 @@
+#include "dmm/workloads/workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dmm/core/profiler.h"
+#include "dmm/managers/lea.h"
+#include "dmm/workloads/drr.h"
+#include "dmm/workloads/recon3d.h"
+#include "dmm/workloads/render3d.h"
+#include "dmm/workloads/traffic.h"
+
+namespace dmm::workloads {
+
+const std::vector<Workload>& case_studies() {
+  static const std::vector<Workload> kStudies = {
+      {"drr",
+       "DRR scheduler",
+       [](alloc::Allocator& m, unsigned seed) {
+         TrafficGenerator gen;
+         DrrScheduler drr(m, gen.config().flows);
+         drr.run(gen.generate(seed));
+       },
+       // Table 1 reports Kingsley and Lea for the DRR column.
+       {"kingsley", "lea"}},
+      {"recon3d",
+       "3D image reconst.",
+       [](alloc::Allocator& m, unsigned seed) {
+         Recon3d recon(m);
+         (void)recon.run(seed);
+       },
+       // Table 1 reports Kingsley and Regions for this column.
+       {"kingsley", "regions"}},
+      {"render3d",
+       "3D scalable rendering",
+       [](alloc::Allocator& m, unsigned seed) {
+         MeshRenderer renderer(m);
+         (void)renderer.run(seed);
+       },
+       // Table 1 reports Kingsley, Lea and Obstacks for this column.
+       {"kingsley", "lea", "obstacks"}},
+  };
+  return kStudies;
+}
+
+const Workload& case_study(const std::string& name) {
+  for (const Workload& w : case_studies()) {
+    if (w.name == name) return w;
+  }
+  std::fprintf(stderr, "unknown case study '%s'\n", name.c_str());
+  std::abort();
+}
+
+core::AllocTrace record_trace(const Workload& workload, unsigned seed) {
+  sysmem::SystemArena arena;
+  managers::LeaAllocator backing(arena);
+  core::ProfilingAllocator profiler(backing);
+  workload.run(profiler, seed);
+  core::AllocTrace trace = profiler.take_trace();
+  trace.close_leaks();
+  return trace;
+}
+
+}  // namespace dmm::workloads

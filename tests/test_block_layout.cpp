@@ -1,0 +1,127 @@
+#include "dmm/alloc/block_layout.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace dmm::alloc {
+namespace {
+
+DmmConfig cfg_with(BlockTags tags, RecordedInfo info) {
+  DmmConfig c;
+  c.block_tags = tags;
+  c.recorded_info = info;
+  return c;
+}
+
+TEST(BlockLayout, NoneTagsHaveZeroOverhead) {
+  const BlockLayout l =
+      BlockLayout::from(cfg_with(BlockTags::kNone, RecordedInfo::kNone));
+  EXPECT_EQ(l.header_bytes(), 0u);
+  EXPECT_EQ(l.footer_bytes(), 0u);
+  EXPECT_FALSE(l.records_size());
+  EXPECT_FALSE(l.records_status());
+}
+
+TEST(BlockLayout, NoneTagsSuppressRecordedInfo) {
+  // Fig. 3: choosing "none" in A3 prohibits A4 — the layout engine
+  // degrades gracefully even if handed the incoherent vector.
+  const BlockLayout l = BlockLayout::from(
+      cfg_with(BlockTags::kNone, RecordedInfo::kSizeAndStatus));
+  EXPECT_FALSE(l.records_size());
+  EXPECT_FALSE(l.records_status());
+  EXPECT_EQ(l.header_bytes(), 0u);
+}
+
+TEST(BlockLayout, HeaderRoundTripsSizeAndStatus) {
+  const BlockLayout l = BlockLayout::from(
+      cfg_with(BlockTags::kHeader, RecordedInfo::kSizeAndStatus));
+  EXPECT_EQ(l.header_bytes(), 8u);
+  EXPECT_EQ(l.footer_bytes(), 0u);
+  alignas(16) std::array<std::byte, 256> buf{};
+  l.write_header(buf.data(), 128, /*free=*/true, /*prev_free=*/false);
+  EXPECT_EQ(l.read_size(buf.data()), 128u);
+  EXPECT_TRUE(l.read_free(buf.data()));
+  EXPECT_FALSE(l.read_prev_free(buf.data()));
+  l.write_header(buf.data(), 128, /*free=*/false, /*prev_free=*/true);
+  EXPECT_FALSE(l.read_free(buf.data()));
+  EXPECT_TRUE(l.read_prev_free(buf.data()));
+  EXPECT_EQ(l.read_size(buf.data()), 128u) << "flags must not leak into size";
+}
+
+TEST(BlockLayout, PrevFreeBitUpdatesInPlace) {
+  const BlockLayout l = BlockLayout::from(
+      cfg_with(BlockTags::kHeader, RecordedInfo::kSizeAndStatus));
+  alignas(16) std::array<std::byte, 64> buf{};
+  l.write_header(buf.data(), 64, true, false);
+  l.set_prev_free(buf.data(), true);
+  EXPECT_TRUE(l.read_prev_free(buf.data()));
+  EXPECT_TRUE(l.read_free(buf.data()));
+  EXPECT_EQ(l.read_size(buf.data()), 64u);
+  l.set_prev_free(buf.data(), false);
+  EXPECT_FALSE(l.read_prev_free(buf.data()));
+}
+
+TEST(BlockLayout, SizeOnlyRecordsNoStatus) {
+  const BlockLayout l =
+      BlockLayout::from(cfg_with(BlockTags::kHeader, RecordedInfo::kSize));
+  alignas(16) std::array<std::byte, 64> buf{};
+  l.write_header(buf.data(), 64, /*free=*/true);
+  EXPECT_EQ(l.read_size(buf.data()), 64u);
+  EXPECT_FALSE(l.read_free(buf.data())) << "status not recorded";
+}
+
+TEST(BlockLayout, FooterRoundTrip) {
+  const BlockLayout l = BlockLayout::from(
+      cfg_with(BlockTags::kHeaderFooter, RecordedInfo::kSizeAndStatus));
+  alignas(16) std::array<std::byte, 256> buf{};
+  std::byte* block = buf.data();
+  l.write_footer(block, 128);
+  // The footer sits in the last word of the block; a successor block at
+  // base+128 reads it as "the free block ending here has size 128".
+  EXPECT_EQ(l.read_footer_size(block + 128), 128u);
+}
+
+TEST(BlockLayout, LivePayloadExcludesOnlyHeader) {
+  const BlockLayout l = BlockLayout::from(
+      cfg_with(BlockTags::kHeaderFooter, RecordedInfo::kSizeAndStatus));
+  // Footer space overlaps live payload (dlmalloc boundary-tag trick).
+  EXPECT_EQ(l.live_payload(128), 120u);
+  const BlockLayout none =
+      BlockLayout::from(cfg_with(BlockTags::kNone, RecordedInfo::kNone));
+  EXPECT_EQ(none.live_payload(128), 128u);
+}
+
+TEST(BlockLayout, MinBlockSizeCoversLinksAndFooter) {
+  const BlockLayout hf = BlockLayout::from(
+      cfg_with(BlockTags::kHeaderFooter, RecordedInfo::kSizeAndStatus));
+  // header(8) + links(16) + footer(8)
+  EXPECT_EQ(hf.min_block_size(16), 32u);
+  const BlockLayout h = BlockLayout::from(
+      cfg_with(BlockTags::kHeader, RecordedInfo::kSizeAndStatus));
+  EXPECT_EQ(h.min_block_size(16), 24u);
+  const BlockLayout none =
+      BlockLayout::from(cfg_with(BlockTags::kNone, RecordedInfo::kNone));
+  EXPECT_EQ(none.min_block_size(8), 8u);
+}
+
+TEST(BlockLayout, BlockSizeForRequestsRespectsMinimumAndAlignment) {
+  const BlockLayout l = BlockLayout::from(
+      cfg_with(BlockTags::kHeaderFooter, RecordedInfo::kSizeAndStatus));
+  EXPECT_EQ(l.block_size_for(1, 16), 32u) << "clamped to min viable block";
+  EXPECT_EQ(l.block_size_for(24, 16), 32u);
+  EXPECT_EQ(l.block_size_for(25, 16), 40u);
+  EXPECT_EQ(l.block_size_for(100, 16) % kAlignment, 0u);
+}
+
+TEST(BlockLayout, PayloadBlockRoundTrip) {
+  const BlockLayout l = BlockLayout::from(
+      cfg_with(BlockTags::kHeader, RecordedInfo::kSizeAndStatus));
+  alignas(16) std::array<std::byte, 64> buf{};
+  std::byte* payload = l.payload(buf.data());
+  EXPECT_EQ(payload, buf.data() + 8);
+  EXPECT_EQ(l.block_of(payload), buf.data());
+}
+
+}  // namespace
+}  // namespace dmm::alloc

@@ -1,0 +1,88 @@
+// Footprint decomposition (Sec. 4.1 factors) invariants.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dmm/alloc/custom_manager.h"
+#include "dmm/sysmem/system_arena.h"
+
+namespace dmm::alloc {
+namespace {
+
+using sysmem::SystemArena;
+
+TEST(Breakdown, PartsNeverExceedTheFootprint) {
+  SystemArena arena;
+  CustomManager mgr(arena, drr_paper_config());
+  std::vector<void*> live;
+  unsigned rng = 3;
+  for (int i = 0; i < 2000; ++i) {
+    rng = rng * 1664525u + 1013904223u;
+    if (live.empty() || rng % 3 != 0) {
+      live.push_back(mgr.allocate(8 + rng % 1500));
+    } else {
+      mgr.deallocate(live[rng % live.size()]);
+      live[rng % live.size()] = live.back();
+      live.pop_back();
+    }
+  }
+  const CustomManager::FootprintBreakdown b = mgr.breakdown();
+  EXPECT_EQ(b.footprint, arena.footprint());
+  EXPECT_EQ(b.live_payload, mgr.stats().live_bytes);
+  EXPECT_LE(b.live_payload + b.header_overhead + b.chunk_headers +
+                b.free_cached + b.wilderness + b.big_cache,
+            b.footprint + 4096u)
+      << "parts must tile the footprint (modulo page rounding)";
+  for (void* p : live) mgr.deallocate(p);
+}
+
+TEST(Breakdown, IdleManagerWithGrowShrinkIsAllZero) {
+  SystemArena arena;
+  CustomManager mgr(arena, drr_paper_config());
+  void* p = mgr.allocate(100);
+  mgr.deallocate(p);
+  const CustomManager::FootprintBreakdown b = mgr.breakdown();
+  EXPECT_EQ(b.footprint, 0u);
+  EXPECT_EQ(b.free_cached, 0u);
+  EXPECT_EQ(b.internal_fragmentation(), 0u);
+}
+
+TEST(Breakdown, NeverSplitShowsInternalFragmentation) {
+  SystemArena arena;
+  DmmConfig cfg = drr_paper_config();
+  cfg.flexible = FlexibleBlockSize::kCoalesceOnly;
+  cfg.split_when = SplitWhen::kNever;
+  cfg.big_request_bytes = 1 << 20;
+  CustomManager mgr(arena, cfg);
+  // Free a big block mid-chunk, then occupy it with a tiny request.
+  void* big = mgr.allocate(4096);
+  void* barrier = mgr.allocate(64);
+  mgr.deallocate(big);
+  void* tiny = mgr.allocate(32);
+  const CustomManager::FootprintBreakdown b = mgr.breakdown();
+  EXPECT_GT(b.internal_fragmentation(), 3500u)
+      << "the unsplit 4 KiB block counts as internal fragmentation";
+  mgr.deallocate(tiny);
+  mgr.deallocate(barrier);
+}
+
+TEST(Breakdown, CachedFreeBlocksShowAsExternal) {
+  SystemArena arena;
+  DmmConfig cfg = drr_paper_config();
+  cfg.adaptivity = PoolAdaptivity::kGrowOnly;
+  cfg.flexible = FlexibleBlockSize::kNone;
+  cfg.split_when = SplitWhen::kNever;
+  cfg.coalesce_when = CoalesceWhen::kNever;
+  CustomManager mgr(arena, cfg);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 50; ++i) ptrs.push_back(mgr.allocate(500));
+  for (void* p : ptrs) mgr.deallocate(p);
+  const CustomManager::FootprintBreakdown b = mgr.breakdown();
+  EXPECT_GE(b.free_cached, 50u * 500)
+      << "all fifty blocks sit in the free index";
+  EXPECT_EQ(b.live_payload, 0u);
+}
+
+}  // namespace
+}  // namespace dmm::alloc

@@ -1,0 +1,128 @@
+#include "dmm/alloc/config_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "dmm/alloc/config.h"
+
+namespace dmm::alloc {
+namespace {
+
+TEST(ConfigRules, PaperDrrConfigIsValid) {
+  EXPECT_TRUE(is_valid(drr_paper_config()))
+      << "the Sec. 5 decision walk must denote a coherent manager";
+}
+
+TEST(ConfigRules, Fig4WrongOrderConfigIsValid) {
+  // The Fig. 4 config is *coherent* (that is the point: the wrong order
+  // produces a valid but crippled manager), just bad at fragmentation.
+  EXPECT_TRUE(is_valid(fig4_wrong_order_config()));
+}
+
+TEST(ConfigRules, Fig3NoneTagsProhibitRecordedInfo) {
+  DmmConfig c = fig4_wrong_order_config();
+  c.block_tags = BlockTags::kNone;
+  c.recorded_info = RecordedInfo::kSizeAndStatus;
+  auto why = unsupported_reason(c);
+  ASSERT_TRUE(why.has_value());
+  EXPECT_NE(why->find("A3"), std::string::npos);
+}
+
+TEST(ConfigRules, NoTagsForceNeverSplitAndCoalesce) {
+  // Fig. 4's causal chain: A3=none => D2=E2=never.
+  DmmConfig c = fig4_wrong_order_config();  // valid, never split/coalesce
+  c.flexible = FlexibleBlockSize::kSplitAndCoalesce;
+  c.split_when = SplitWhen::kAlways;
+  c.coalesce_when = CoalesceWhen::kAlways;
+  EXPECT_TRUE(unsupported_reason(c).has_value())
+      << "splitting/coalescing without size+status tags must be rejected";
+}
+
+TEST(ConfigRules, VariablePoolsNeedSizeInfo) {
+  DmmConfig c = drr_paper_config();
+  c.recorded_info = RecordedInfo::kStatus;  // size gone
+  EXPECT_TRUE(unsupported_reason(c).has_value());
+  // ... unless pools are divided per exact size (fixed-size pools).
+  DmmConfig d = fig4_wrong_order_config();
+  EXPECT_EQ(d.pool_division, PoolDivision::kPoolPerExactSize);
+  EXPECT_FALSE(unsupported_reason(d).has_value());
+}
+
+TEST(ConfigRules, FooterOnlyTagsCannotServeVariablePools) {
+  DmmConfig c = drr_paper_config();
+  c.block_tags = BlockTags::kFooter;
+  EXPECT_TRUE(unsupported_reason(c).has_value());
+}
+
+TEST(ConfigRules, CoalesceNeedsStatus) {
+  DmmConfig c = drr_paper_config();
+  c.recorded_info = RecordedInfo::kSize;  // status gone
+  EXPECT_TRUE(unsupported_reason(c).has_value());
+}
+
+TEST(ConfigRules, FixedClassSizesBoundSplitAndCoalesce) {
+  DmmConfig c = drr_paper_config();
+  c.block_sizes = BlockSizes::kFixedClasses;
+  // D1/E1 still "not fixed": incoherent with a fixed class system.
+  EXPECT_TRUE(unsupported_reason(c).has_value());
+  c.coalesce_sizes = CoalesceSizes::kBoundedByClass;
+  c.split_sizes = SplitSizes::kBoundedByClass;
+  EXPECT_FALSE(unsupported_reason(c).has_value());
+}
+
+TEST(ConfigRules, PoolDivisionDictatesPoolCount) {
+  DmmConfig c = drr_paper_config();
+  c.pool_count = PoolCount::kDynamic;  // single pool with dynamic count
+  EXPECT_TRUE(unsupported_reason(c).has_value());
+
+  DmmConfig d = fig4_wrong_order_config();
+  d.pool_count = PoolCount::kOne;  // per-exact-size with one pool
+  EXPECT_TRUE(unsupported_reason(d).has_value());
+}
+
+TEST(ConfigRules, StaticPreallocationRequiresSinglePool) {
+  DmmConfig c = fig4_wrong_order_config();
+  c.adaptivity = PoolAdaptivity::kStaticPreallocated;
+  EXPECT_TRUE(unsupported_reason(c).has_value());
+}
+
+TEST(ConfigRules, SoftViolationsAreReportedButNotHard) {
+  DmmConfig c = drr_paper_config();
+  c.order = FreeListOrder::kFIFO;
+  c.block_structure = BlockStructure::kSizeBinaryTree;  // self-ordering
+  EXPECT_FALSE(unsupported_reason(c).has_value())
+      << "a shadowed C2 leaf still runs";
+  bool found_soft = false;
+  for (const RuleViolation& v : check_rules(c)) {
+    if (!v.hard && v.trees == "A1->C2") found_soft = true;
+  }
+  EXPECT_TRUE(found_soft);
+}
+
+TEST(ConfigRules, DeadBoundsAreFlaggedSoft) {
+  DmmConfig c = fig4_wrong_order_config();
+  c.coalesce_sizes = CoalesceSizes::kBoundedByClass;  // D2=never => dead D1
+  bool found = false;
+  for (const RuleViolation& v : check_rules(c)) {
+    if (v.trees == "D2->D1") {
+      found = true;
+      EXPECT_FALSE(v.hard);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ConfigRules, PoolBlocksFixedClassification) {
+  DmmConfig c;
+  c.pool_division = PoolDivision::kSinglePool;
+  EXPECT_FALSE(pool_blocks_fixed(c));
+  c.pool_division = PoolDivision::kPoolPerExactSize;
+  EXPECT_TRUE(pool_blocks_fixed(c));
+  c.pool_division = PoolDivision::kPoolPerSizeClass;
+  c.block_sizes = BlockSizes::kMany;
+  EXPECT_FALSE(pool_blocks_fixed(c)) << "class pools with exact sizes inside";
+  c.block_sizes = BlockSizes::kFixedClasses;
+  EXPECT_TRUE(pool_blocks_fixed(c));
+}
+
+}  // namespace
+}  // namespace dmm::alloc

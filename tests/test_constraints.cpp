@@ -1,0 +1,137 @@
+#include "dmm/core/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "dmm/core/order.h"
+
+namespace dmm::core {
+namespace {
+
+using alloc::DmmConfig;
+
+DecidedMask none_decided() { return DecidedMask{}; }
+
+DecidedMask decide(std::initializer_list<TreeId> trees) {
+  DecidedMask m{};
+  for (TreeId t : trees) m[static_cast<std::size_t>(t)] = true;
+  return m;
+}
+
+TEST(Constraints, RulesOnlyFireWhenTheirTreesAreDecided) {
+  // A3=none conflicts with split/coalesce — but if E2/D2 are NOT yet
+  // decided, the choice must still be admissible (the conflict belongs to
+  // a later decision level).
+  DmmConfig cfg = alloc::drr_paper_config();  // defaults: split+coalesce
+  const int none_leaf = static_cast<int>(alloc::BlockTags::kNone);
+  EXPECT_TRUE(Constraints::admissible(cfg, none_decided(), TreeId::kA3,
+                                      none_leaf))
+      << "undecided D2/E2 cannot veto A3 yet";
+  // Once D2/E2/A5/A4 (and the pool trees that could rescue size recovery)
+  // are decided as split+coalesce, A3=none becomes inadmissible — the
+  // Fig. 4 causal chain in reverse.
+  const DecidedMask decided =
+      decide({TreeId::kA2, TreeId::kA5, TreeId::kE2, TreeId::kD2,
+              TreeId::kE1, TreeId::kD1, TreeId::kB4, TreeId::kB1,
+              TreeId::kB2, TreeId::kB3, TreeId::kC1, TreeId::kC2,
+              TreeId::kA1, TreeId::kA4});
+  EXPECT_FALSE(Constraints::admissible(cfg, decided, TreeId::kA3, none_leaf))
+      << "with split/coalesce committed, tags cannot be 'none'";
+}
+
+TEST(Constraints, Fig4WrongOrderLocksOutDefragmentation) {
+  // Decide A3=none first (the wrong order's footprint-greedy choice);
+  // then E2/D2 'always' must be inadmissible and only 'never' survives.
+  DmmConfig cfg = alloc::drr_paper_config();
+  set_leaf(cfg, TreeId::kA3, static_cast<int>(alloc::BlockTags::kNone));
+  set_leaf(cfg, TreeId::kA4, static_cast<int>(alloc::RecordedInfo::kNone));
+  // Pool division per exact size so sizes are recoverable at all.
+  set_leaf(cfg, TreeId::kB1,
+           static_cast<int>(alloc::PoolDivision::kPoolPerExactSize));
+  set_leaf(cfg, TreeId::kB3, static_cast<int>(alloc::PoolCount::kDynamic));
+  set_leaf(cfg, TreeId::kA5, static_cast<int>(alloc::FlexibleBlockSize::kNone));
+  const DecidedMask decided = decide({TreeId::kA3, TreeId::kA4, TreeId::kB1,
+                                      TreeId::kB3, TreeId::kA5});
+  EXPECT_FALSE(Constraints::admissible(
+      cfg, decided, TreeId::kE2, static_cast<int>(alloc::SplitWhen::kAlways)));
+  EXPECT_FALSE(Constraints::admissible(
+      cfg, decided, TreeId::kD2,
+      static_cast<int>(alloc::CoalesceWhen::kAlways)));
+  EXPECT_TRUE(Constraints::admissible(
+      cfg, decided, TreeId::kE2, static_cast<int>(alloc::SplitWhen::kNever)));
+  EXPECT_TRUE(Constraints::admissible(
+      cfg, decided, TreeId::kD2,
+      static_cast<int>(alloc::CoalesceWhen::kNever)));
+}
+
+TEST(Constraints, RepairNeverTouchesDecidedTrees) {
+  DmmConfig cfg = alloc::drr_paper_config();
+  set_leaf(cfg, TreeId::kA2,
+           static_cast<int>(alloc::BlockSizes::kFixedClasses));
+  const DecidedMask decided = decide({TreeId::kA2});
+  const DmmConfig repaired = Constraints::repair(cfg, decided);
+  EXPECT_EQ(repaired.block_sizes, alloc::BlockSizes::kFixedClasses)
+      << "the decided A2 leaf must survive repair";
+  EXPECT_TRUE(alloc::unsupported_reason(repaired) == std::nullopt)
+      << "repair must produce a runnable vector";
+}
+
+TEST(Constraints, RepairFixesPoolCountCoherence) {
+  DmmConfig cfg = alloc::drr_paper_config();
+  set_leaf(cfg, TreeId::kB1,
+           static_cast<int>(alloc::PoolDivision::kPoolPerExactSize));
+  // B3 still says 'one' from the defaults — undecided, so repair may fix.
+  const DmmConfig repaired =
+      Constraints::repair(cfg, decide({TreeId::kB1}));
+  EXPECT_EQ(repaired.pool_count, alloc::PoolCount::kDynamic);
+}
+
+TEST(Constraints, RepairAlignsScheduleWithMechanism) {
+  DmmConfig cfg = alloc::drr_paper_config();
+  set_leaf(cfg, TreeId::kA5,
+           static_cast<int>(alloc::FlexibleBlockSize::kNone));
+  const DmmConfig repaired =
+      Constraints::repair(cfg, decide({TreeId::kA5}));
+  EXPECT_EQ(repaired.split_when, alloc::SplitWhen::kNever);
+  EXPECT_EQ(repaired.coalesce_when, alloc::CoalesceWhen::kNever);
+}
+
+TEST(Constraints, RepairOnFullyDecidedVectorIsIdentity) {
+  DecidedMask all{};
+  all.fill(true);
+  const DmmConfig cfg = alloc::drr_paper_config();
+  const DmmConfig repaired = Constraints::repair(cfg, all);
+  EXPECT_TRUE(cfg == repaired);
+}
+
+TEST(Constraints, EveryPaperOrderStepHasAnAdmissibleLeaf) {
+  // Walking the published order from the library defaults, each tree must
+  // always offer at least one admissible leaf (otherwise the traversal
+  // would dead-end).
+  DmmConfig cfg = alloc::drr_paper_config();
+  DecidedMask decided{};
+  for (TreeId t : paper_order()) {
+    int admissible = 0;
+    for (int leaf = 0; leaf < leaf_count(t); ++leaf) {
+      admissible +=
+          Constraints::admissible(cfg, decided, t, leaf) ? 1 : 0;
+    }
+    EXPECT_GT(admissible, 0) << "dead end at " << tree_id(t);
+    decided[static_cast<std::size_t>(t)] = true;
+  }
+}
+
+TEST(Constraints, CatalogContainsTheFig3Rule) {
+  const auto entries = Constraints::catalog(/*stride=*/1009);
+  bool found = false;
+  for (const auto& e : entries) {
+    if (e.tag == "A3->A4" && e.hard) {
+      found = true;
+      EXPECT_GT(e.occurrences, 0u);
+    }
+  }
+  EXPECT_TRUE(found) << "the Fig. 3 interdependency must be catalogued";
+  EXPECT_GE(entries.size(), 10u) << "the Fig. 2 graph is dense";
+}
+
+}  // namespace
+}  // namespace dmm::core

@@ -1,0 +1,203 @@
+// Property-based suite: every *valid* decision vector must yield a manager
+// that honours the malloc contract — no overlap, no corruption, footprint
+// always covers live data, and full cleanup on destruction.
+//
+// Vectors are drawn from a structured grid over the search space and
+// filtered through the interdependency rules, so the suite sweeps wildly
+// different managers (buddy-style, segregated-fixed, sorted-list best-fit,
+// never-defragmenting, static-budget, ...) through the same invariants.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "dmm/alloc/config.h"
+#include "dmm/alloc/config_rules.h"
+#include "dmm/alloc/custom_manager.h"
+#include "dmm/sysmem/system_arena.h"
+
+namespace dmm::alloc {
+namespace {
+
+using sysmem::SystemArena;
+
+std::vector<DmmConfig> sample_valid_configs() {
+  std::vector<DmmConfig> out;
+  // Structured grid: coarse sweep of the high-impact trees, with the
+  // dependent trees set coherently per the constraint engine.
+  const BlockStructure ddts[] = {
+      BlockStructure::kSinglyLinkedList, BlockStructure::kDoublyLinkedList,
+      BlockStructure::kDoublySortedBySize, BlockStructure::kSizeBinaryTree};
+  const FitAlgorithm fits[] = {FitAlgorithm::kFirstFit,
+                               FitAlgorithm::kBestFit,
+                               FitAlgorithm::kExactFit,
+                               FitAlgorithm::kWorstFit};
+  const PoolAdaptivity adaptivities[] = {PoolAdaptivity::kGrowOnly,
+                                         PoolAdaptivity::kGrowAndShrink};
+  const CoalesceWhen coalesce_whens[] = {
+      CoalesceWhen::kNever, CoalesceWhen::kDeferred, CoalesceWhen::kAlways};
+  const SplitWhen split_whens[] = {SplitWhen::kNever, SplitWhen::kDeferred,
+                                   SplitWhen::kAlways};
+
+  for (BlockStructure ddt : ddts) {
+    for (FitAlgorithm fit : fits) {
+      for (PoolAdaptivity ad : adaptivities) {
+        for (CoalesceWhen cw : coalesce_whens) {
+          for (SplitWhen sw : split_whens) {
+            DmmConfig c;
+            c.block_structure = ddt;
+            c.fit = fit;
+            c.adaptivity = ad;
+            c.coalesce_when = cw;
+            c.split_when = sw;
+            // Make A5 agree with the schedules.
+            const bool s = sw != SplitWhen::kNever;
+            const bool k = cw != CoalesceWhen::kNever;
+            c.flexible = s && k   ? FlexibleBlockSize::kSplitAndCoalesce
+                         : s      ? FlexibleBlockSize::kSplitOnly
+                         : k      ? FlexibleBlockSize::kCoalesceOnly
+                                  : FlexibleBlockSize::kNone;
+            // Self-ordering DDTs pin C2.
+            if (ddt == BlockStructure::kDoublySortedBySize ||
+                ddt == BlockStructure::kSizeBinaryTree) {
+              c.order = FreeListOrder::kSizeOrdered;
+            }
+            // Positional fits are shadowed on a size tree.
+            if (ddt == BlockStructure::kSizeBinaryTree &&
+                fit == FitAlgorithm::kFirstFit) {
+              continue;
+            }
+            if (is_valid(c)) out.push_back(c);
+          }
+        }
+      }
+    }
+  }
+  // A few structurally different families on top of the grid.
+  {
+    DmmConfig c = fig4_wrong_order_config();  // per-exact, no tags
+    out.push_back(c);
+    c.adaptivity = PoolAdaptivity::kGrowOnly;
+    out.push_back(c);
+  }
+  {
+    DmmConfig c;  // Kingsley-like: fixed classes, per-class pools
+    c.block_sizes = BlockSizes::kFixedClasses;
+    c.pool_division = PoolDivision::kPoolPerSizeClass;
+    c.pool_count = PoolCount::kStaticMany;
+    c.adaptivity = PoolAdaptivity::kGrowOnly;
+    c.flexible = FlexibleBlockSize::kNone;
+    c.split_when = SplitWhen::kNever;
+    c.coalesce_when = CoalesceWhen::kNever;
+    c.block_structure = BlockStructure::kSinglyLinkedList;
+    c.fit = FitAlgorithm::kFirstFit;
+    if (is_valid(c)) out.push_back(c);
+    c.pool_count = PoolCount::kDynamic;  // lazily created class pools
+    if (is_valid(c)) out.push_back(c);
+  }
+  {
+    DmmConfig c = drr_paper_config();  // static-budget variant
+    c.adaptivity = PoolAdaptivity::kStaticPreallocated;
+    c.static_pool_bytes = 1 << 20;
+    if (is_valid(c)) out.push_back(c);
+  }
+  {
+    DmmConfig c = drr_paper_config();  // class-bounded split/coalesce
+    c.split_sizes = SplitSizes::kBoundedByClass;
+    c.coalesce_sizes = CoalesceSizes::kBoundedByClass;
+    if (is_valid(c)) out.push_back(c);
+  }
+  return out;
+}
+
+class ValidConfigProperty : public ::testing::TestWithParam<std::size_t> {
+ public:
+  static const std::vector<DmmConfig>& configs() {
+    static const std::vector<DmmConfig> kConfigs = sample_valid_configs();
+    return kConfigs;
+  }
+};
+
+TEST(ValidConfigSample, GridYieldsAHealthySample) {
+  EXPECT_GE(ValidConfigProperty::configs().size(), 40u)
+      << "the valid slice of the grid should be sizeable";
+}
+
+struct LiveObject {
+  void* ptr;
+  std::size_t size;
+  unsigned char pattern;
+};
+
+TEST_P(ValidConfigProperty, MallocContractUnderChurn) {
+  const DmmConfig& cfg = configs()[GetParam()];
+  SCOPED_TRACE(signature(cfg));
+  SystemArena arena;
+  {
+    CustomManager mgr(arena, cfg);
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7919u + 17u);
+    std::vector<LiveObject> live;
+    std::size_t live_bytes = 0;
+    const bool static_budget =
+        cfg.adaptivity == PoolAdaptivity::kStaticPreallocated;
+    for (int step = 0; step < 3000; ++step) {
+      const bool do_alloc = live.empty() || rng() % 5 < 3;
+      if (do_alloc) {
+        // Mix of small, medium and occasionally big requests.
+        std::size_t size = 0;
+        switch (rng() % 10) {
+          case 0: size = 1 + rng() % 8; break;
+          case 1: case 2: case 3: size = 8 + rng() % 120; break;
+          case 4: case 5: case 6: size = 128 + rng() % 1500; break;
+          case 7: case 8: size = 2048 + rng() % 4096; break;
+          default: size = 8192 + rng() % 32768; break;
+        }
+        if (static_budget && size > 2048) size = 64 + rng() % 512;
+        void* p = mgr.allocate(size);
+        if (p == nullptr) {
+          ASSERT_TRUE(static_budget)
+              << "only the static budget may refuse an allocation";
+          continue;
+        }
+        const auto pattern =
+            static_cast<unsigned char>((rng() % 255) + 1);
+        std::memset(p, pattern, size);
+        live.push_back({p, size, pattern});
+        live_bytes += size;
+      } else {
+        const std::size_t i = rng() % live.size();
+        LiveObject obj = live[i];
+        // Content must have survived every other operation (no overlap).
+        const auto* bytes = static_cast<const unsigned char*>(obj.ptr);
+        bool intact = true;
+        for (std::size_t k = 0; k < obj.size && intact; ++k) {
+          intact = bytes[k] == obj.pattern;
+        }
+        ASSERT_TRUE(intact) << "payload corrupted before free";
+        mgr.deallocate(obj.ptr);
+        live_bytes -= obj.size;
+        live[i] = live.back();
+        live.pop_back();
+      }
+      ASSERT_GE(arena.footprint() + (static_budget ? 0u : 0u), live_bytes)
+          << "footprint can never be below live payload";
+    }
+    mgr.check_integrity();
+    for (const LiveObject& obj : live) mgr.deallocate(obj.ptr);
+    EXPECT_EQ(mgr.stats().live_bytes, 0u);
+    if (cfg.adaptivity == PoolAdaptivity::kGrowAndShrink) {
+      EXPECT_EQ(arena.footprint(), 0u)
+          << "grow+shrink managers must return everything once idle";
+    }
+  }
+  EXPECT_EQ(arena.live_chunks(), 0u) << "destructor must release all chunks";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ValidConfigProperty,
+    ::testing::Range<std::size_t>(0, sample_valid_configs().size()));
+
+}  // namespace
+}  // namespace dmm::alloc

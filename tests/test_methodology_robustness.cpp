@@ -1,0 +1,103 @@
+// Robustness of the methodology: the paper designs the custom manager
+// from profiled behaviour and deploys it on *future* inputs.  These tests
+// check that a manager designed on one seed generalises to unseen seeds,
+// and that the phase machinery actually pays off where it should.
+
+#include <gtest/gtest.h>
+
+#include "dmm/core/methodology.h"
+#include "dmm/managers/registry.h"
+#include "dmm/workloads/workload.h"
+
+namespace dmm {
+namespace {
+
+TEST(MethodologyRobustness, DesignGeneralizesToUnseenSeeds) {
+  // Design on seed 1; on seeds 2..5 the custom manager must still beat
+  // every baseline of its Table 1 column (the paper's deployment story).
+  for (const workloads::Workload& w : workloads::case_studies()) {
+    const core::AllocTrace trace = workloads::record_trace(w, 1);
+    const core::MethodologyResult design = core::design_manager(trace);
+    for (unsigned seed = 2; seed <= 5; ++seed) {
+      sysmem::SystemArena custom_arena;
+      {
+        auto mgr = design.make_manager(custom_arena);
+        w.run(*mgr, seed);
+      }
+      for (const std::string& baseline : w.table1_baselines) {
+        sysmem::SystemArena arena;
+        {
+          auto mgr = managers::make_manager(baseline, arena);
+          w.run(*mgr, seed);
+        }
+        // Allow 5% slack: the unseen seed may shift the peak slightly.
+        EXPECT_LE(custom_arena.peak_footprint(),
+                  arena.peak_footprint() * 105 / 100)
+            << w.name << " seed " << seed << " vs " << baseline;
+      }
+    }
+  }
+}
+
+TEST(MethodologyRobustness, PerPhaseDesignBeatsSinglePhaseOnRender) {
+  // The render workload has two genuinely different phases; explore it
+  // once with phase annotations (global manager) and once with phases
+  // erased (single atomic manager).  The per-phase design must not lose.
+  const workloads::Workload& render = workloads::case_study("render3d");
+  core::AllocTrace trace = workloads::record_trace(render, 1);
+  ASSERT_EQ(trace.stats().phases, 2u);
+
+  const core::MethodologyResult phased = core::design_manager(trace);
+  ASSERT_EQ(phased.phase_configs.size(), 2u);
+
+  core::AllocTrace flat = trace;
+  for (core::AllocEvent& e : flat.events()) e.phase = 0;
+  const core::MethodologyResult single = core::design_manager(flat);
+  ASSERT_EQ(single.phase_configs.size(), 1u);
+
+  sysmem::SystemArena phased_arena;
+  {
+    auto mgr = phased.make_manager(phased_arena);
+    (void)core::simulate(trace, *mgr);
+  }
+  sysmem::SystemArena single_arena;
+  {
+    auto mgr = single.make_manager(single_arena);
+    (void)core::simulate(flat, *mgr);
+  }
+  EXPECT_LE(phased_arena.peak_footprint(),
+            single_arena.peak_footprint() * 105 / 100)
+      << "phase-aware design must be at least competitive";
+}
+
+TEST(MethodologyRobustness, DesignIsDeterministic) {
+  const workloads::Workload& drr = workloads::case_study("drr");
+  const core::AllocTrace trace = workloads::record_trace(drr, 1);
+  const core::MethodologyResult a = core::design_manager(trace);
+  const core::MethodologyResult b = core::design_manager(trace);
+  ASSERT_EQ(a.phase_configs.size(), b.phase_configs.size());
+  for (std::size_t i = 0; i < a.phase_configs.size(); ++i) {
+    EXPECT_TRUE(a.phase_configs[i] == b.phase_configs[i]);
+  }
+}
+
+TEST(MethodologyRobustness, DesignedManagerSurvivesBudgetPressure) {
+  // Deploy the designed manager under an arena budget just above the
+  // trace's own peak demand: it must complete without failures.
+  const workloads::Workload& drr = workloads::case_study("drr");
+  const core::AllocTrace trace = workloads::record_trace(drr, 1);
+  const core::MethodologyResult design = core::design_manager(trace);
+  sysmem::SystemArena probe;
+  std::size_t needed = 0;
+  {
+    auto mgr = design.make_manager(probe);
+    needed = core::simulate(trace, *mgr).peak_footprint;
+  }
+  sysmem::SystemArena tight(needed + 64 * 1024);
+  auto mgr = design.make_manager(tight);
+  const core::SimResult sim = core::simulate(trace, *mgr);
+  EXPECT_EQ(sim.failed_allocs, 0u);
+}
+
+}  // namespace
+}  // namespace dmm

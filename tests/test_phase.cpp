@@ -1,0 +1,105 @@
+#include "dmm/core/phase.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace dmm::core {
+namespace {
+
+// Two behaviourally distinct phases: small packets then large buffers.
+AllocTrace two_phase_trace(std::size_t per_phase) {
+  AllocTrace t;
+  std::mt19937 rng(7);
+  std::uint32_t id = 0;
+  for (std::size_t i = 0; i < per_phase; ++i) {
+    const std::uint32_t a = id++;
+    t.record_alloc(a, 40 + rng() % 64);
+    if (i % 2 == 1) t.record_free(a);
+  }
+  for (std::size_t i = 0; i < per_phase; ++i) {
+    const std::uint32_t a = id++;
+    t.record_alloc(a, 16384 + rng() % 8192);
+    t.record_free(a);
+  }
+  t.close_leaks();
+  return t;
+}
+
+TEST(PhaseDetector, SinglePhaseForUniformBehaviour) {
+  AllocTrace t;
+  for (std::uint32_t i = 0; i < 4000; ++i) {
+    t.record_alloc(i, 64);
+    t.record_free(i);
+  }
+  const auto spans = detect_phases(t);
+  EXPECT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].first_event, 0u);
+  EXPECT_EQ(spans[0].last_event, t.size() - 1);
+}
+
+TEST(PhaseDetector, FindsTheBehaviourShift) {
+  const AllocTrace t = two_phase_trace(4000);
+  PhaseDetectorOptions opts;
+  opts.window = 1024;
+  const auto spans = detect_phases(t, opts);
+  ASSERT_GE(spans.size(), 2u) << "small-packet vs big-buffer phases";
+  // The boundary must fall near the behavioural switch (the first phase
+  // emits 1.5 events per object, the second 2).
+  const std::size_t switch_event = 4000 + 2000;  // allocs + odd frees
+  const std::size_t boundary = spans[1].first_event;
+  EXPECT_NEAR(static_cast<double>(boundary),
+              static_cast<double>(switch_event), 1500.0);
+}
+
+TEST(PhaseDetector, SpansTileTheTrace) {
+  const AllocTrace t = two_phase_trace(3000);
+  const auto spans = detect_phases(t);
+  std::size_t expect_start = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].first_event, expect_start);
+    EXPECT_EQ(spans[i].phase, i);
+    expect_start = spans[i].last_event + 1;
+  }
+  EXPECT_EQ(expect_start, t.size());
+}
+
+TEST(PhaseDetector, ApplyPhasesRewritesEvents) {
+  AllocTrace t = two_phase_trace(3000);
+  const auto spans = detect_phases(t);
+  apply_phases(t, spans);
+  EXPECT_EQ(t.stats().phases, spans.size());
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(SplitByPhase, ObjectsFollowTheirAllocationPhase) {
+  AllocTrace t;
+  t.record_alloc(0, 100, 0);
+  t.record_alloc(1, 200, 0);
+  t.record_alloc(2, 300, 1);
+  t.record_free(1, 1);  // allocated in phase 0, freed in phase 1
+  t.record_free(2, 1);
+  t.record_free(0, 1);
+  const auto subs = split_by_phase(t);
+  ASSERT_EQ(subs.size(), 2u);
+  // Phase 0 sub-trace owns objects 0 and 1 including their frees.
+  EXPECT_EQ(subs[0].stats().allocs, 2u);
+  EXPECT_EQ(subs[0].stats().frees, 2u);
+  EXPECT_EQ(subs[1].stats().allocs, 1u);
+  EXPECT_EQ(subs[1].stats().frees, 1u);
+  EXPECT_TRUE(subs[0].validate());
+  EXPECT_TRUE(subs[1].validate());
+}
+
+TEST(SplitByPhase, SubTraceDemandSumsCoverTotal) {
+  const AllocTrace t = two_phase_trace(2000);
+  AllocTrace annotated = t;
+  apply_phases(annotated, detect_phases(annotated));
+  const auto subs = split_by_phase(annotated);
+  std::uint64_t allocs = 0;
+  for (const auto& s : subs) allocs += s.stats().allocs;
+  EXPECT_EQ(allocs, t.stats().allocs);
+}
+
+}  // namespace
+}  // namespace dmm::core

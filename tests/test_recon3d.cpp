@@ -1,0 +1,124 @@
+#include "dmm/workloads/recon3d.h"
+
+#include <gtest/gtest.h>
+
+#include "dmm/managers/lea.h"
+#include "dmm/sysmem/system_arena.h"
+#include "dmm/workloads/image.h"
+
+namespace dmm::workloads {
+namespace {
+
+using sysmem::SystemArena;
+
+TEST(SyntheticImage, PixelsLiveInManagerMemory) {
+  SystemArena arena;
+  managers::LeaAllocator mgr(arena);
+  {
+    SyntheticImage img(mgr, 640, 480, /*seed=*/1);
+    EXPECT_GE(mgr.stats().live_bytes, 640u * 480u);
+    EXPECT_EQ(img.width(), 640);
+    EXPECT_EQ(img.height(), 480);
+  }
+  EXPECT_EQ(mgr.stats().live_bytes, 0u);
+}
+
+TEST(SyntheticImage, SceneDependsOnSeed) {
+  SystemArena arena;
+  managers::LeaAllocator mgr(arena);
+  SyntheticImage a(mgr, 160, 120, 1);
+  SyntheticImage b(mgr, 160, 120, 2);
+  int differing = 0;
+  for (int y = 0; y < 120; ++y) {
+    for (int x = 0; x < 160; ++x) {
+      differing += a.at(x, y) != b.at(x, y) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(differing, 160 * 120 / 4);
+}
+
+TEST(SyntheticImage, DisplacedRedrawShiftsContent) {
+  SystemArena arena;
+  managers::LeaAllocator mgr(arena);
+  SyntheticImage a(mgr, 320, 240, 7, /*blobs=*/10);
+  SyntheticImage b(mgr, 320, 240, 7, /*blobs=*/10);
+  b.redraw_displaced(7, 5, 3);
+  // Sample agreement when reading b at the shifted position.
+  int agree = 0;
+  int total = 0;
+  for (int y = 20; y < 220; y += 3) {
+    for (int x = 20; x < 300; x += 3) {
+      ++total;
+      const int diff = std::abs(static_cast<int>(a.at(x, y)) -
+                                static_cast<int>(b.at(x + 5, y + 3)));
+      agree += diff < 20 ? 1 : 0;
+    }
+  }
+  EXPECT_GT(agree, total * 8 / 10) << "shifted sampling must re-align";
+}
+
+TEST(DetectCorners, FindsCornersAndFreesScratch) {
+  SystemArena arena;
+  managers::LeaAllocator mgr(arena);
+  SyntheticImage img(mgr, 320, 240, 3);
+  const std::size_t before = mgr.stats().live_bytes;
+  {
+    auto corners = detect_corners(mgr, img);
+    EXPECT_GT(corners.size(), 20u) << "rectangles produce corners";
+    for (const Corner& c : corners) {
+      EXPECT_GE(c.x, 0);
+      EXPECT_LT(c.x, 320);
+      EXPECT_GE(c.y, 0);
+      EXPECT_LT(c.y, 240);
+      EXPECT_GT(c.response, 0.0f);
+    }
+  }
+  EXPECT_EQ(mgr.stats().live_bytes, before)
+      << "gradient planes and corner list are all returned";
+}
+
+TEST(DetectCorners, CornerCountVariesWithScene) {
+  // The case study's premise: corner counts are input dependent, hence
+  // the dynamic allocation.
+  SystemArena arena;
+  managers::LeaAllocator mgr(arena);
+  SyntheticImage sparse(mgr, 320, 240, 11, /*blobs=*/5);
+  SyntheticImage busy(mgr, 320, 240, 11, /*blobs=*/80);
+  const auto few = detect_corners(mgr, sparse);
+  const auto many = detect_corners(mgr, busy);
+  EXPECT_GT(many.size(), few.size());
+}
+
+TEST(Recon3d, RecoversDisplacements) {
+  SystemArena arena;
+  managers::LeaAllocator mgr(arena);
+  ReconConfig cfg;
+  cfg.width = 320;
+  cfg.height = 240;
+  cfg.pairs = 4;
+  Recon3d recon(mgr, cfg);
+  const ReconResult r = recon.run(5);
+  EXPECT_EQ(r.pairs_processed, 4);
+  EXPECT_GT(r.corners_total, 100u);
+  EXPECT_GT(r.candidates_total, r.corners_total / 4);
+  EXPECT_GE(r.displacement_hits, 3)
+      << "the matcher must recover most displacements";
+}
+
+TEST(Recon3d, CleansUpCompletely) {
+  SystemArena arena;
+  {
+    managers::LeaAllocator mgr(arena);
+    ReconConfig cfg;
+    cfg.width = 320;
+    cfg.height = 240;
+    cfg.pairs = 2;
+    Recon3d recon(mgr, cfg);
+    (void)recon.run(1);
+    EXPECT_EQ(mgr.stats().live_bytes, 0u);
+  }
+  EXPECT_EQ(arena.live_chunks(), 0u);
+}
+
+}  // namespace
+}  // namespace dmm::workloads

@@ -1,0 +1,131 @@
+#include "dmm/core/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "dmm/alloc/custom_manager.h"
+#include "dmm/managers/kingsley.h"
+#include "dmm/managers/lea.h"
+
+namespace dmm::core {
+namespace {
+
+AllocTrace wave_trace(int objects, std::uint32_t size) {
+  AllocTrace t;
+  for (int i = 0; i < objects; ++i) {
+    t.record_alloc(static_cast<std::uint32_t>(i), size);
+  }
+  for (int i = 0; i < objects; ++i) {
+    t.record_free(static_cast<std::uint32_t>(i));
+  }
+  return t;
+}
+
+TEST(Simulator, PeakFootprintCoversDemand) {
+  const AllocTrace t = wave_trace(100, 1000);
+  sysmem::SystemArena arena;
+  alloc::CustomManager mgr(arena, alloc::drr_paper_config());
+  const SimResult r = simulate(t, mgr);
+  EXPECT_EQ(r.events, 200u);
+  EXPECT_EQ(r.peak_live_bytes, 100u * 1000);
+  EXPECT_GE(r.peak_footprint, r.peak_live_bytes);
+  EXPECT_GE(r.overhead_factor(), 1.0);
+  EXPECT_EQ(r.failed_allocs, 0u);
+}
+
+TEST(Simulator, GrowShrinkEndsAtZeroFinalFootprint) {
+  const AllocTrace t = wave_trace(100, 1000);
+  const SimResult r = simulate_fresh(t, [](sysmem::SystemArena& a) {
+    return std::make_unique<alloc::CustomManager>(
+        a, alloc::drr_paper_config());
+  });
+  EXPECT_EQ(r.final_footprint, 0u);
+}
+
+TEST(Simulator, KingsleyKeepsFinalFootprintAtPeak) {
+  const AllocTrace t = wave_trace(100, 1000);
+  const SimResult r = simulate_fresh(t, [](sysmem::SystemArena& a) {
+    return std::make_unique<managers::KingsleyAllocator>(a);
+  });
+  EXPECT_EQ(r.final_footprint, r.peak_footprint);
+}
+
+TEST(Simulator, TimelineSamplesAreMonotoneInEvents) {
+  const AllocTrace t = wave_trace(500, 100);
+  std::vector<TimelinePoint> timeline;
+  (void)simulate_fresh(
+      t,
+      [](sysmem::SystemArena& a) {
+        return std::make_unique<managers::LeaAllocator>(a);
+      },
+      &timeline, /*timeline_stride=*/100);
+  ASSERT_GE(timeline.size(), 10u);
+  for (std::size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_GE(timeline[i].event, timeline[i - 1].event);
+  }
+  EXPECT_EQ(timeline.back().event, 1000u) << "final state always sampled";
+}
+
+TEST(Simulator, TimelineShowsLeaPlateauVsCustomDecay) {
+  // The Fig. 5 mechanism in miniature: after the free wave, Lea's
+  // footprint stays at the plateau, the custom manager's returns to ~0.
+  const AllocTrace t = wave_trace(300, 512);
+  std::vector<TimelinePoint> lea_tl;
+  std::vector<TimelinePoint> custom_tl;
+  (void)simulate_fresh(
+      t,
+      [](sysmem::SystemArena& a) {
+        return std::make_unique<managers::LeaAllocator>(a);
+      },
+      &lea_tl, 50);
+  (void)simulate_fresh(
+      t,
+      [](sysmem::SystemArena& a) {
+        return std::make_unique<alloc::CustomManager>(
+            a, alloc::drr_paper_config());
+      },
+      &custom_tl, 50);
+  EXPECT_GT(lea_tl.back().footprint, 0u);
+  EXPECT_EQ(custom_tl.back().footprint, 0u);
+}
+
+TEST(Simulator, FailedAllocationsAreCountedAndSkipped) {
+  AllocTrace t;
+  for (int i = 0; i < 100; ++i) {
+    t.record_alloc(static_cast<std::uint32_t>(i), 64 * 1024);
+  }
+  for (int i = 0; i < 100; ++i) {
+    t.record_free(static_cast<std::uint32_t>(i));
+  }
+  sysmem::SystemArena arena(/*capacity_bytes=*/1 << 20);  // 1 MiB budget
+  alloc::CustomManager mgr(arena, alloc::drr_paper_config());
+  const SimResult r = simulate(t, mgr);
+  EXPECT_GT(r.failed_allocs, 0u) << "100 x 64 KiB cannot fit in 1 MiB";
+  EXPECT_LT(r.failed_allocs, 100u) << "some allocations must succeed";
+  EXPECT_LE(r.peak_footprint, 1u << 20);
+}
+
+TEST(Simulator, AverageFootprintBetweenZeroAndPeak) {
+  const AllocTrace t = wave_trace(200, 256);
+  const SimResult r = simulate_fresh(t, [](sysmem::SystemArena& a) {
+    return std::make_unique<alloc::CustomManager>(
+        a, alloc::drr_paper_config());
+  });
+  EXPECT_GT(r.avg_footprint, 0.0);
+  EXPECT_LE(r.avg_footprint, static_cast<double>(r.peak_footprint));
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const AllocTrace t = wave_trace(200, 777);
+  auto factory = [](sysmem::SystemArena& a) {
+    return std::make_unique<alloc::CustomManager>(
+        a, alloc::drr_paper_config());
+  };
+  const SimResult a = simulate_fresh(t, factory);
+  const SimResult b = simulate_fresh(t, factory);
+  EXPECT_EQ(a.peak_footprint, b.peak_footprint);
+  EXPECT_EQ(a.final_footprint, b.final_footprint);
+  EXPECT_EQ(a.avg_footprint, b.avg_footprint);
+}
+
+}  // namespace
+}  // namespace dmm::core

@@ -1,0 +1,55 @@
+#include "dmm/alloc/size_class.h"
+
+#include <gtest/gtest.h>
+
+namespace dmm::alloc {
+namespace {
+
+TEST(AlignUp, Basics) {
+  EXPECT_EQ(align_up(0), 0u);
+  EXPECT_EQ(align_up(1), 8u);
+  EXPECT_EQ(align_up(8), 8u);
+  EXPECT_EQ(align_up(9), 16u);
+  EXPECT_EQ(align_up(100, 64), 128u);
+}
+
+TEST(SizeClass, RoundTripIndexAndSize) {
+  for (unsigned i = 0; i < SizeClass::kCount; ++i) {
+    const std::size_t sz = SizeClass::size_of(i);
+    EXPECT_EQ(SizeClass::index_for(sz), i) << "class size maps to itself";
+    if (i > 0) {
+      EXPECT_EQ(SizeClass::index_for(sz / 2 + 1), i)
+          << "one past the previous class maps up";
+    }
+  }
+}
+
+TEST(SizeClass, RoundToClassIsCeiling) {
+  EXPECT_EQ(SizeClass::round_to_class(1), 8u);
+  EXPECT_EQ(SizeClass::round_to_class(8), 8u);
+  EXPECT_EQ(SizeClass::round_to_class(9), 16u);
+  EXPECT_EQ(SizeClass::round_to_class(1500), 2048u);
+  EXPECT_EQ(SizeClass::round_to_class(65536), 65536u);
+}
+
+// Property sweep: rounding never shrinks, never more than doubles
+// (above the minimum class).
+class SizeClassSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SizeClassSweep, CeilingWithinFactorTwo) {
+  const std::size_t n = GetParam();
+  const std::size_t r = SizeClass::round_to_class(n);
+  EXPECT_GE(r, n);
+  if (n > 8) {
+    EXPECT_LT(r, 2 * n);
+  }
+  EXPECT_EQ(r & (r - 1), 0u) << "class sizes are powers of two";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeClassSweep,
+                         ::testing::Values(1, 2, 7, 8, 9, 15, 16, 17, 40, 100,
+                                           576, 1000, 1500, 4096, 4097, 65535,
+                                           65536, 1 << 20));
+
+}  // namespace
+}  // namespace dmm::alloc

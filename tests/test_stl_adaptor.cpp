@@ -1,0 +1,89 @@
+#include "dmm/alloc/stl_adaptor.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dmm/alloc/custom_manager.h"
+#include "dmm/managers/kingsley.h"
+#include "dmm/sysmem/system_arena.h"
+
+namespace dmm::alloc {
+namespace {
+
+using sysmem::SystemArena;
+
+TEST(StlAdaptor, VectorGrowsAndReleasesThroughTheManager) {
+  SystemArena arena;
+  CustomManager mgr(arena, drr_paper_config());
+  {
+    std::vector<int, StlAdaptor<int>> v{StlAdaptor<int>(mgr)};
+    for (int i = 0; i < 100000; ++i) v.push_back(i);
+    EXPECT_GE(mgr.stats().live_bytes, 100000u * sizeof(int));
+    EXPECT_GT(mgr.stats().alloc_count, 10u) << "doubling growth";
+  }
+  EXPECT_EQ(mgr.stats().live_bytes, 0u);
+  EXPECT_EQ(arena.footprint(), 0u);
+}
+
+TEST(StlAdaptor, NodeContainersWork) {
+  SystemArena arena;
+  CustomManager mgr(arena, drr_paper_config());
+  {
+    std::list<double, StlAdaptor<double>> l{StlAdaptor<double>(mgr)};
+    for (int i = 0; i < 1000; ++i) l.push_back(i * 0.5);
+    EXPECT_EQ(l.size(), 1000u);
+    std::deque<int, StlAdaptor<int>> d{StlAdaptor<int>(mgr)};
+    for (int i = 0; i < 1000; ++i) d.push_back(i);
+    using MapAlloc = StlAdaptor<std::pair<const int, int>>;
+    std::map<int, int, std::less<>, MapAlloc> m{MapAlloc(mgr)};
+    for (int i = 0; i < 500; ++i) m.emplace(i, i * i);
+    EXPECT_EQ(m.at(20), 400);
+  }
+  EXPECT_EQ(mgr.stats().live_bytes, 0u);
+}
+
+TEST(StlAdaptor, WorksOnEveryManagerKind) {
+  SystemArena arena;
+  managers::KingsleyAllocator mgr(arena);
+  std::vector<std::uint64_t, StlAdaptor<std::uint64_t>> v{
+      StlAdaptor<std::uint64_t>(mgr)};
+  for (std::uint64_t i = 0; i < 10000; ++i) v.push_back(i * i);
+  EXPECT_EQ(v[100], 10000u);
+}
+
+TEST(StlAdaptor, EqualityFollowsTheManager) {
+  SystemArena arena;
+  CustomManager a(arena, drr_paper_config());
+  CustomManager b(arena, drr_paper_config());
+  StlAdaptor<int> aa(a);
+  StlAdaptor<int> ab(a);
+  StlAdaptor<int> ba(b);
+  EXPECT_TRUE(aa == ab);
+  EXPECT_FALSE(aa == ba);
+  StlAdaptor<double> rebound(aa);  // converting copy keeps the manager
+  EXPECT_EQ(&rebound.manager(), &a);
+}
+
+TEST(StlAdaptor, ContainerCopyAndMovePropagate) {
+  SystemArena arena;
+  CustomManager mgr(arena, drr_paper_config());
+  std::vector<int, StlAdaptor<int>> v{StlAdaptor<int>(mgr)};
+  v.assign({1, 2, 3, 4});
+  std::vector<int, StlAdaptor<int>> copy = v;
+  EXPECT_EQ(copy.size(), 4u);
+  std::vector<int, StlAdaptor<int>> moved = std::move(v);
+  EXPECT_EQ(moved.back(), 4);
+  copy.clear();
+  copy.shrink_to_fit();
+  moved.clear();
+  moved.shrink_to_fit();
+  EXPECT_EQ(mgr.stats().live_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace dmm::alloc

@@ -1,0 +1,121 @@
+#include "dmm/sysmem/system_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dmm::sysmem {
+namespace {
+
+TEST(SystemArena, RoundsRequestsToPageSize) {
+  SystemArena arena;
+  EXPECT_EQ(arena.rounded(1), 4096u);
+  EXPECT_EQ(arena.rounded(4096), 4096u);
+  EXPECT_EQ(arena.rounded(4097), 8192u);
+  EXPECT_EQ(arena.rounded(0), 4096u);
+}
+
+TEST(SystemArena, CustomPageSize) {
+  SystemArena arena(0, 256);
+  EXPECT_EQ(arena.rounded(1), 256u);
+  EXPECT_EQ(arena.rounded(257), 512u);
+}
+
+TEST(SystemArena, TracksFootprintAndPeak) {
+  SystemArena arena;
+  std::size_t granted = 0;
+  std::byte* a = arena.request(1000, &granted);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(granted, 4096u);
+  EXPECT_EQ(arena.footprint(), 4096u);
+  std::byte* b = arena.request(5000);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(arena.footprint(), 4096u + 8192u);
+  EXPECT_EQ(arena.peak_footprint(), 4096u + 8192u);
+  arena.release(a);
+  EXPECT_EQ(arena.footprint(), 8192u);
+  EXPECT_EQ(arena.peak_footprint(), 4096u + 8192u) << "peak must not shrink";
+  arena.release(b);
+  EXPECT_EQ(arena.footprint(), 0u);
+  EXPECT_EQ(arena.live_chunks(), 0u);
+}
+
+TEST(SystemArena, PeakResetsToCurrentOnDemand) {
+  SystemArena arena;
+  std::byte* a = arena.request(8192);
+  std::byte* b = arena.request(8192);
+  arena.release(b);
+  arena.reset_peak();
+  EXPECT_EQ(arena.peak_footprint(), 8192u);
+  arena.release(a);
+}
+
+TEST(SystemArena, CapacityBudgetRejectsOverflow) {
+  SystemArena arena(16 * 1024);
+  std::byte* a = arena.request(8 * 1024);
+  ASSERT_NE(a, nullptr);
+  std::byte* b = arena.request(8 * 1024);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(arena.request(1), nullptr) << "budget exhausted";
+  EXPECT_EQ(arena.stats().failed_requests, 1u);
+  arena.release(a);
+  EXPECT_NE(a = arena.request(4 * 1024), nullptr) << "freed budget reusable";
+  arena.release(a);
+  arena.release(b);
+}
+
+TEST(SystemArena, OwnershipQueries) {
+  SystemArena arena;
+  std::byte* a = arena.request(100);
+  EXPECT_TRUE(arena.owns(a));
+  EXPECT_EQ(arena.grant_size(a), 4096u);
+  EXPECT_FALSE(arena.owns(a + 1)) << "owns() is exact-base only";
+  arena.release(a);
+  EXPECT_FALSE(arena.owns(a));
+  EXPECT_EQ(arena.grant_size(a), 0u);
+}
+
+TEST(SystemArena, ObserverSeesEveryFootprintChange) {
+  SystemArena arena;
+  std::vector<long long> deltas;
+  arena.set_observer([&](const ArenaStats&, long long d) {
+    deltas.push_back(d);
+  });
+  std::byte* a = arena.request(1);
+  std::byte* b = arena.request(4097);
+  arena.release(a);
+  arena.release(b);
+  ASSERT_EQ(deltas.size(), 4u);
+  EXPECT_EQ(deltas[0], 4096);
+  EXPECT_EQ(deltas[1], 8192);
+  EXPECT_EQ(deltas[2], -4096);
+  EXPECT_EQ(deltas[3], -8192);
+}
+
+TEST(SystemArena, StatsCountersAreMonotone) {
+  SystemArena arena;
+  std::byte* a = arena.request(100);
+  std::byte* b = arena.request(100);
+  arena.release(a);
+  const ArenaStats& s = arena.stats();
+  EXPECT_EQ(s.request_count, 2u);
+  EXPECT_EQ(s.release_count, 1u);
+  EXPECT_EQ(s.total_requested, 8192u);
+  EXPECT_EQ(s.total_released, 4096u);
+  EXPECT_EQ(s.live_grants(), 1u);
+  arena.release(b);
+}
+
+TEST(SystemArena, GrantsAreMaxAligned) {
+  SystemArena arena;
+  for (int i = 0; i < 8; ++i) {
+    std::byte* p = arena.request(100);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) %
+                  alignof(std::max_align_t),
+              0u);
+    arena.release(p);
+  }
+}
+
+}  // namespace
+}  // namespace dmm::sysmem

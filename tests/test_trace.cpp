@@ -1,0 +1,106 @@
+#include "dmm/core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace dmm::core {
+namespace {
+
+AllocTrace simple_trace() {
+  AllocTrace t;
+  t.record_alloc(0, 100, 0);
+  t.record_alloc(1, 200, 0);
+  t.record_free(0, 0);
+  t.record_alloc(2, 50, 1);
+  t.record_free(2, 1);
+  t.record_free(1, 1);
+  return t;
+}
+
+TEST(AllocTrace, ValidatesWellFormedTraces) {
+  EXPECT_TRUE(simple_trace().validate());
+}
+
+TEST(AllocTrace, RejectsDoubleFree) {
+  AllocTrace t;
+  t.record_alloc(0, 100);
+  t.record_free(0);
+  t.record_free(0);
+  std::string why;
+  EXPECT_FALSE(t.validate(&why));
+  EXPECT_NE(why.find("dead id"), std::string::npos);
+}
+
+TEST(AllocTrace, RejectsIdReuseWhileLive) {
+  AllocTrace t;
+  t.record_alloc(0, 100);
+  t.record_alloc(0, 200);
+  EXPECT_FALSE(t.validate());
+}
+
+TEST(AllocTrace, CloseLeaksFreesEverything) {
+  AllocTrace t;
+  t.record_alloc(0, 100);
+  t.record_alloc(1, 100);
+  t.record_free(0);
+  t.close_leaks();
+  EXPECT_TRUE(t.validate());
+  const TraceStats s = t.stats();
+  EXPECT_EQ(s.allocs, s.frees);
+}
+
+TEST(AllocTrace, StatsComputeDemandAndHistogram) {
+  const TraceStats s = simple_trace().stats();
+  EXPECT_EQ(s.events, 6u);
+  EXPECT_EQ(s.allocs, 3u);
+  EXPECT_EQ(s.frees, 3u);
+  EXPECT_EQ(s.peak_live_bytes, 300u) << "100+200 live simultaneously";
+  EXPECT_EQ(s.peak_live_blocks, 2u);
+  EXPECT_EQ(s.distinct_sizes, 3u);
+  EXPECT_EQ(s.min_size, 50u);
+  EXPECT_EQ(s.max_size, 200u);
+  EXPECT_EQ(s.phases, 2u);
+  EXPECT_NEAR(s.mean_size, (100.0 + 200.0 + 50.0) / 3.0, 1e-9);
+  EXPECT_EQ(s.top_sizes.size(), 3u);
+}
+
+TEST(AllocTrace, LifetimeIsAllocToFreeDistance) {
+  AllocTrace t;
+  t.record_alloc(0, 8);  // event 0
+  t.record_free(0);      // event 1 -> lifetime 1
+  t.record_alloc(1, 8);  // event 2
+  t.record_alloc(2, 8);  // event 3
+  t.record_free(2);      // event 4 -> lifetime 1
+  t.record_free(1);      // event 5 -> lifetime 3
+  const TraceStats s = t.stats();
+  EXPECT_NEAR(s.mean_lifetime_events, (1.0 + 1.0 + 3.0) / 3.0, 1e-9);
+}
+
+TEST(AllocTrace, AppendOffsetsIdsAndPhases) {
+  AllocTrace a = simple_trace();
+  AllocTrace b = simple_trace();
+  a.append(b, /*phase_offset=*/2);
+  EXPECT_TRUE(a.validate()) << "appended ids must not collide";
+  const TraceStats s = a.stats();
+  EXPECT_EQ(s.events, 12u);
+  EXPECT_EQ(s.phases, 4u) << "phases 0,1 then 2,3";
+}
+
+TEST(AllocTrace, SaveLoadRoundTrip) {
+  const AllocTrace t = simple_trace();
+  const std::string path = ::testing::TempDir() + "/dmm_trace_roundtrip.txt";
+  t.save(path);
+  const AllocTrace loaded = AllocTrace::load(path);
+  ASSERT_EQ(loaded.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(loaded.events()[i].op, t.events()[i].op);
+    EXPECT_EQ(loaded.events()[i].id, t.events()[i].id);
+    EXPECT_EQ(loaded.events()[i].size, t.events()[i].size);
+    EXPECT_EQ(loaded.events()[i].phase, t.events()[i].phase);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dmm::core

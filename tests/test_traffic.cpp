@@ -1,0 +1,117 @@
+#include "dmm/workloads/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace dmm::workloads {
+namespace {
+
+TEST(Traffic, GeneratesRequestedPacketCount) {
+  TrafficGenerator gen;
+  const auto trace = gen.generate(1);
+  EXPECT_EQ(trace.size(), gen.config().packets);
+}
+
+TEST(Traffic, ArrivalsAreTimeOrdered) {
+  const auto trace = TrafficGenerator().generate(2);
+  EXPECT_TRUE(std::is_sorted(trace.begin(), trace.end(),
+                             [](const Packet& a, const Packet& b) {
+                               return a.arrival_us < b.arrival_us;
+                             }));
+}
+
+TEST(Traffic, TrimodalSizeMix) {
+  const auto trace = TrafficGenerator().generate(3);
+  // The classic internet mix: ~half tiny ACKs, a fifth around the default
+  // MTU, a quarter at the Ethernet MTU.
+  EXPECT_NEAR(TrafficGenerator::size_share(trace, 40, 64), 0.50, 0.06);
+  EXPECT_NEAR(TrafficGenerator::size_share(trace, 576, 600), 0.20, 0.05);
+  EXPECT_NEAR(TrafficGenerator::size_share(trace, 1476, 1500), 0.25, 0.05);
+}
+
+TEST(Traffic, SizesVaryGreatly) {
+  const auto trace = TrafficGenerator().generate(4);
+  std::uint32_t lo = trace[0].size;
+  std::uint32_t hi = trace[0].size;
+  for (const Packet& p : trace) {
+    lo = std::min(lo, p.size);
+    hi = std::max(hi, p.size);
+  }
+  EXPECT_LE(lo, 64u);
+  EXPECT_GE(hi, 1400u);
+}
+
+TEST(Traffic, FlowsAllParticipate) {
+  TrafficConfig cfg;
+  const auto trace = TrafficGenerator(cfg).generate(5);
+  std::vector<std::uint64_t> per_flow(cfg.flows, 0);
+  for (const Packet& p : trace) ++per_flow[p.flow];
+  for (std::uint16_t f = 0; f < cfg.flows; ++f) {
+    EXPECT_GT(per_flow[f], 0u) << "flow " << f;
+  }
+}
+
+TEST(Traffic, DistinctSeedsGiveDistinctTraces) {
+  TrafficGenerator gen;
+  const auto a = gen.generate(1);
+  const auto b = gen.generate(2);
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].size != b[i].size || a[i].arrival_us != b[i].arrival_us;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Traffic, SameSeedIsDeterministic) {
+  TrafficGenerator gen;
+  const auto a = gen.generate(7);
+  const auto b = gen.generate(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].size, b[i].size);
+    EXPECT_EQ(a[i].arrival_us, b[i].arrival_us);
+    EXPECT_EQ(a[i].flow, b[i].flow);
+  }
+}
+
+TEST(Traffic, BurstinessCreatesArrivalClumps) {
+  // Pareto ON/OFF flows: within a single flow, inter-arrival gaps are
+  // bimodal (dense bursts, long idles) — their coefficient of variation
+  // must clearly exceed a Poisson process's (CV = 1).  The 16-flow
+  // aggregate legitimately smooths toward CV ~ 1, so we measure per flow.
+  TrafficConfig cfg;
+  const auto trace = TrafficGenerator(cfg).generate(8);
+  double cv_sum = 0.0;
+  int flows_measured = 0;
+  for (std::uint16_t f = 0; f < cfg.flows; ++f) {
+    double sum = 0.0;
+    double sq = 0.0;
+    std::size_t n = 0;
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const Packet& p : trace) {
+      if (p.flow != f) continue;
+      if (!first) {
+        const double gap = static_cast<double>(p.arrival_us - prev);
+        sum += gap;
+        sq += gap * gap;
+        ++n;
+      }
+      first = false;
+      prev = p.arrival_us;
+    }
+    if (n < 100) continue;
+    const double mean = sum / static_cast<double>(n);
+    const double var = sq / static_cast<double>(n) - mean * mean;
+    cv_sum += std::sqrt(var) / mean;
+    ++flows_measured;
+  }
+  ASSERT_GT(flows_measured, 8);
+  EXPECT_GT(cv_sum / flows_measured, 1.5)
+      << "per-flow inter-arrival CV too low for ON/OFF Pareto traffic";
+}
+
+}  // namespace
+}  // namespace dmm::workloads

@@ -1,0 +1,110 @@
+// Integration tests across the whole stack: case studies x managers x the
+// methodology — the machinery every Table 1 / figure bench relies on.
+
+#include "dmm/workloads/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "dmm/core/methodology.h"
+#include "dmm/core/simulator.h"
+#include "dmm/managers/registry.h"
+
+namespace dmm::workloads {
+namespace {
+
+TEST(Workloads, ThreeCaseStudiesInPaperOrder) {
+  const auto& studies = case_studies();
+  ASSERT_EQ(studies.size(), 3u);
+  EXPECT_EQ(studies[0].name, "drr");
+  EXPECT_EQ(studies[1].name, "recon3d");
+  EXPECT_EQ(studies[2].name, "render3d");
+}
+
+TEST(Workloads, TracesAreWellFormed) {
+  for (const Workload& w : case_studies()) {
+    const core::AllocTrace trace = record_trace(w, 1);
+    std::string why;
+    EXPECT_TRUE(trace.validate(&why)) << w.name << ": " << why;
+    EXPECT_GT(trace.size(), 1000u) << w.name;
+    const core::TraceStats s = trace.stats();
+    EXPECT_EQ(s.allocs, s.frees) << w.name << ": traces are closed";
+    EXPECT_GT(s.distinct_sizes, 5u) << w.name;
+  }
+}
+
+TEST(Workloads, TracesAreDeterministicPerSeed) {
+  for (const Workload& w : case_studies()) {
+    const core::AllocTrace a = record_trace(w, 3);
+    const core::AllocTrace b = record_trace(w, 3);
+    ASSERT_EQ(a.size(), b.size()) << w.name;
+    for (std::size_t i = 0; i < a.size(); i += 97) {
+      EXPECT_EQ(a.events()[i].size, b.events()[i].size) << w.name;
+      EXPECT_EQ(a.events()[i].id, b.events()[i].id) << w.name;
+    }
+  }
+}
+
+TEST(Workloads, EveryCaseStudyRunsOnEveryBaseline) {
+  for (const Workload& w : case_studies()) {
+    for (const std::string& name : managers::baseline_names()) {
+      sysmem::SystemArena arena;
+      {
+        auto mgr = managers::make_manager(name, arena);
+        w.run(*mgr, 2);
+        EXPECT_EQ(mgr->stats().live_blocks, 0u) << w.name << "/" << name;
+      }
+      EXPECT_EQ(arena.live_chunks(), 0u) << w.name << "/" << name;
+    }
+  }
+}
+
+TEST(Workloads, TraceReplayMatchesDirectRunFootprint) {
+  // The simulator's cost function must agree with reality: replaying the
+  // recorded trace through a manager gives the same peak footprint as
+  // running the application on it (workloads are allocation-
+  // deterministic).
+  for (const Workload& w : case_studies()) {
+    const core::AllocTrace trace = record_trace(w, 1);
+    sysmem::SystemArena direct_arena;
+    {
+      auto mgr = managers::make_manager("kingsley", direct_arena);
+      w.run(*mgr, 1);
+    }
+    sysmem::SystemArena replay_arena;
+    {
+      auto mgr = managers::make_manager("kingsley", replay_arena);
+      (void)core::simulate(trace, *mgr);
+    }
+    EXPECT_EQ(direct_arena.peak_footprint(), replay_arena.peak_footprint())
+        << w.name;
+  }
+}
+
+TEST(Workloads, MethodologyBeatsEveryBaselinePerCaseStudy) {
+  // The paper's headline, as an invariant: for each case study the
+  // designed custom manager's peak footprint is at most every baseline's.
+  for (const Workload& w : case_studies()) {
+    const core::AllocTrace trace = record_trace(w, 1);
+    const core::MethodologyResult design = core::design_manager(trace);
+
+    sysmem::SystemArena custom_arena;
+    {
+      auto mgr = design.make_manager(custom_arena);
+      w.run(*mgr, 1);
+    }
+    const std::size_t custom_peak = custom_arena.peak_footprint();
+
+    for (const std::string& name : w.table1_baselines) {
+      sysmem::SystemArena arena;
+      {
+        auto mgr = managers::make_manager(name, arena);
+        w.run(*mgr, 1);
+      }
+      EXPECT_LE(custom_peak, arena.peak_footprint())
+          << w.name << ": custom must not lose to " << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmm::workloads
