@@ -21,31 +21,37 @@ int main() {
     const core::AllocTrace trace = workloads::record_trace(w, 1);
     std::printf("\n== %s (%zu events, %zu distinct sizes) ==\n",
                 w.name.c_str(), trace.size(), trace.stats().distinct_sizes);
-    std::printf("%-34s %14s %8s\n", "strategy", "peak (B)", "replays");
+    std::printf("%-34s %14s %8s %6s\n", "strategy", "peak (B)", "replays",
+                "cached");
     bench::print_rule();
 
     core::Explorer ex(trace);
 
     const core::ExplorationResult greedy = ex.explore(core::paper_order());
-    std::printf("%-34s %14zu %8llu\n", "greedy, published order",
+    std::printf("%-34s %14zu %8llu %6llu\n", "greedy, published order",
                 greedy.best_sim.peak_footprint,
-                static_cast<unsigned long long>(greedy.simulations));
+                static_cast<unsigned long long>(greedy.simulations),
+                static_cast<unsigned long long>(greedy.cache_hits));
 
     const core::ExplorationResult wrong = ex.explore(core::fig4_wrong_order());
-    std::printf("%-34s %14zu %8llu\n", "greedy, Fig. 4 wrong order",
+    std::printf("%-34s %14zu %8llu %6llu\n", "greedy, Fig. 4 wrong order",
                 wrong.best_sim.peak_footprint,
-                static_cast<unsigned long long>(wrong.simulations));
+                static_cast<unsigned long long>(wrong.simulations),
+                static_cast<unsigned long long>(wrong.cache_hits));
 
     const core::ExplorationResult naive = ex.explore(core::naive_order());
-    std::printf("%-34s %14zu %8llu\n", "greedy, naive A1..E2 order",
+    std::printf("%-34s %14zu %8llu %6llu\n", "greedy, naive A1..E2 order",
                 naive.best_sim.peak_footprint,
-                static_cast<unsigned long long>(naive.simulations));
+                static_cast<unsigned long long>(naive.simulations),
+                static_cast<unsigned long long>(naive.cache_hits));
 
+    // Equal budget = the greedy walk's *evaluations* (replays + hits).
     const core::ExplorationResult random =
-        ex.random_search(greedy.simulations, /*seed=*/42);
-    std::printf("%-34s %14zu %8llu\n", "random sampling, equal budget",
+        ex.random_search(greedy.simulations + greedy.cache_hits, /*seed=*/42);
+    std::printf("%-34s %14zu %8llu %6llu\n", "random sampling, equal budget",
                 random.best_sim.peak_footprint,
-                static_cast<unsigned long long>(random.simulations));
+                static_cast<unsigned long long>(random.simulations),
+                static_cast<unsigned long long>(random.cache_hits));
 
     // Ground truth over the six highest-impact trees (others repaired).
     const std::vector<TreeId> subspace = {TreeId::kA2, TreeId::kA5,

@@ -250,4 +250,64 @@ DmmConfig fig4_wrong_order_config() {
   return c;
 }
 
+DmmConfig canonical(const DmmConfig& cfg) {
+  DmmConfig c = cfg;
+  const DmmConfig defaults{};
+  const bool can_split = (c.flexible == FlexibleBlockSize::kSplitOnly ||
+                          c.flexible == FlexibleBlockSize::kSplitAndCoalesce) &&
+                         c.split_when != SplitWhen::kNever;
+  const bool can_coalesce =
+      (c.flexible == FlexibleBlockSize::kCoalesceOnly ||
+       c.flexible == FlexibleBlockSize::kSplitAndCoalesce) &&
+      c.coalesce_when != CoalesceWhen::kNever;
+  if (!can_split) {
+    c.split_sizes = defaults.split_sizes;
+    c.deferred_split_min = defaults.deferred_split_min;
+  } else if (c.split_when != SplitWhen::kDeferred) {
+    c.deferred_split_min = defaults.deferred_split_min;
+  }
+  if (!can_coalesce) c.coalesce_sizes = defaults.coalesce_sizes;
+  const bool class_bounded =
+      (can_split && c.split_sizes == SplitSizes::kBoundedByClass) ||
+      (can_coalesce && c.coalesce_sizes == CoalesceSizes::kBoundedByClass);
+  if (!class_bounded) c.max_class_log2 = defaults.max_class_log2;
+  if (c.adaptivity == PoolAdaptivity::kStaticPreallocated) {
+    // Static managers never take the dedicated-chunk path (chunk_bytes
+    // still shapes the one up-front grant, so it stays).
+    c.big_request_bytes = defaults.big_request_bytes;
+  } else {
+    c.static_pool_bytes = defaults.static_pool_bytes;
+  }
+  return c;
+}
+
+std::size_t hash_value(const DmmConfig& cfg) {
+  std::size_t h = 1469598103934665603ull;  // FNV offset basis
+  const auto mix = [&h](std::size_t v) {
+    h ^= v;
+    h *= 1099511628211ull;  // FNV prime
+  };
+  mix(static_cast<std::size_t>(cfg.block_structure));
+  mix(static_cast<std::size_t>(cfg.block_sizes));
+  mix(static_cast<std::size_t>(cfg.block_tags));
+  mix(static_cast<std::size_t>(cfg.recorded_info));
+  mix(static_cast<std::size_t>(cfg.flexible));
+  mix(static_cast<std::size_t>(cfg.pool_division));
+  mix(static_cast<std::size_t>(cfg.pool_structure));
+  mix(static_cast<std::size_t>(cfg.pool_count));
+  mix(static_cast<std::size_t>(cfg.adaptivity));
+  mix(static_cast<std::size_t>(cfg.fit));
+  mix(static_cast<std::size_t>(cfg.order));
+  mix(static_cast<std::size_t>(cfg.coalesce_sizes));
+  mix(static_cast<std::size_t>(cfg.coalesce_when));
+  mix(static_cast<std::size_t>(cfg.split_sizes));
+  mix(static_cast<std::size_t>(cfg.split_when));
+  mix(cfg.chunk_bytes);
+  mix(cfg.big_request_bytes);
+  mix(cfg.static_pool_bytes);
+  mix(cfg.deferred_split_min);
+  mix(static_cast<std::size_t>(cfg.max_class_log2));
+  return h;
+}
+
 }  // namespace dmm::alloc

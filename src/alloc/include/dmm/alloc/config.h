@@ -172,6 +172,33 @@ struct DmmConfig {
   bool operator==(const DmmConfig&) const = default;
 };
 
+/// Canonical behavioural form of a decision vector: numeric knobs that the
+/// synthesised manager provably never reads under the vector's gating
+/// decisions are reset to their defaults, so two vectors that build
+/// byte-for-byte identical managers compare (and hash) equal.  Dead knobs:
+///
+///   * split machinery off  -> split_sizes ignored, deferred_split_min dead
+///   * coalesce machinery off -> coalesce_sizes ignored
+///   * neither side bounded by class -> max_class_log2 dead
+///   * adaptivity != static -> static_pool_bytes dead
+///   * adaptivity == static -> big_request_bytes dead (no dedicated path)
+///
+/// Tree leaves are never touched — they are the design vector's identity.
+/// The exploration ScoreCache keys on this form, which is what makes the
+/// greedy walk's repaired completions collide into cache hits.
+[[nodiscard]] DmmConfig canonical(const DmmConfig& cfg);
+
+/// FNV-1a over every field of the vector; agrees with operator==.
+/// Canonicalize first when behavioural identity is wanted.
+[[nodiscard]] std::size_t hash_value(const DmmConfig& cfg);
+
+/// Hash functor for unordered containers keyed by DmmConfig.
+struct DmmConfigHash {
+  [[nodiscard]] std::size_t operator()(const DmmConfig& cfg) const {
+    return hash_value(cfg);
+  }
+};
+
 // --- printable names (implemented in config.cpp) ---
 std::string to_string(BlockStructure v);
 std::string to_string(BlockSizes v);

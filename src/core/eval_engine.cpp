@@ -1,0 +1,203 @@
+#include "dmm/core/eval_engine.h"
+
+#include <utility>
+
+#include "dmm/alloc/custom_manager.h"
+#include "dmm/sysmem/system_arena.h"
+
+namespace dmm::core {
+
+const ScoreCache::Entry* ScoreCache::lookup(
+    const alloc::DmmConfig& cfg) const {
+  const auto it = map_.find(alloc::canonical(cfg));
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void ScoreCache::insert(const alloc::DmmConfig& cfg, Entry entry) {
+  map_.insert_or_assign(alloc::canonical(cfg), std::move(entry));
+}
+
+EvalOutcome score_candidate(const AllocTrace& trace, const EvalJob& job) {
+  EvalOutcome out;
+  out.tag = job.tag;
+  sysmem::SystemArena arena;
+  // strict accounting off: exploration replays thousands of events per
+  // candidate and only footprint/work are scored.
+  alloc::CustomManager mgr(arena, job.cfg, "candidate",
+                           /*strict_accounting=*/false);
+  out.sim = simulate(trace, mgr);
+  out.work_steps = mgr.work_steps();
+  return out;
+}
+
+std::vector<EvalOutcome> EvalEngine::evaluate(const AllocTrace& trace,
+                                              const std::vector<EvalJob>& jobs,
+                                              ScoreCache* cache) {
+  std::vector<EvalOutcome> outcomes(jobs.size());
+  std::vector<std::size_t> misses;
+  if (cache == nullptr) {
+    misses.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) misses.push_back(i);
+    run_batch(trace, jobs, misses, outcomes);
+    return outcomes;
+  }
+  // Cache pass on the coordinating thread: resolve hits, collapse
+  // duplicate configs within the batch onto one owner each.
+  std::unordered_map<alloc::DmmConfig, std::size_t, alloc::DmmConfigHash>
+      owner_of;
+  std::vector<std::pair<std::size_t, std::size_t>> dup_of;  // (dup, owner)
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (const ScoreCache::Entry* hit = cache->lookup(jobs[i].cfg)) {
+      outcomes[i].tag = jobs[i].tag;
+      outcomes[i].sim = hit->sim;
+      outcomes[i].work_steps = hit->work_steps;
+      outcomes[i].from_cache = true;
+      continue;
+    }
+    const auto [it, inserted] =
+        owner_of.emplace(alloc::canonical(jobs[i].cfg), i);
+    if (inserted) {
+      misses.push_back(i);
+    } else {
+      dup_of.emplace_back(i, it->second);
+    }
+  }
+  run_batch(trace, jobs, misses, outcomes);
+  for (const std::size_t i : misses) {
+    cache->insert(jobs[i].cfg, {outcomes[i].sim, outcomes[i].work_steps});
+  }
+  for (const auto& [dup, owner] : dup_of) {
+    outcomes[dup] = outcomes[owner];
+    outcomes[dup].tag = jobs[dup].tag;
+    outcomes[dup].from_cache = true;
+  }
+  return outcomes;
+}
+
+void SerialEngine::run_batch(const AllocTrace& trace,
+                             const std::vector<EvalJob>& jobs,
+                             const std::vector<std::size_t>& miss_indices,
+                             std::vector<EvalOutcome>& outcomes) {
+  for (const std::size_t i : miss_indices) {
+    outcomes[i] = score_candidate(trace, jobs[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPoolEngine
+// ---------------------------------------------------------------------------
+
+ThreadPoolEngine::ThreadPoolEngine(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  queues_.reserve(num_threads);
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPoolEngine::~ThreadPoolEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPoolEngine::next_job(std::size_t self, std::size_t* out) {
+  {
+    WorkerQueue& own = *queues_[self];
+    const std::lock_guard<std::mutex> lock(own.m);
+    if (!own.q.empty()) {
+      *out = own.q.back();
+      own.q.pop_back();
+      return true;
+    }
+  }
+  // Steal from the front of a sibling's deque (oldest job: least likely to
+  // collide with the owner working the back).
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& victim = *queues_[(self + k) % queues_.size()];
+    const std::lock_guard<std::mutex> lock(victim.m);
+    if (!victim.q.empty()) {
+      *out = victim.q.front();
+      victim.q.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPoolEngine::worker_main(std::size_t self) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      work_ready_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    std::size_t idx = 0;
+    while (next_job(self, &idx)) {
+      // Index-addressed slot: no two workers share one, so the only
+      // synchronisation a result needs is the remaining_ countdown.
+      (*outcomes_)[idx] = score_candidate(*trace_, (*jobs_)[idx]);
+      bool last = false;
+      {
+        const std::lock_guard<std::mutex> lock(m_);
+        last = --remaining_ == 0;
+      }
+      if (last) batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPoolEngine::run_batch(const AllocTrace& trace,
+                                 const std::vector<EvalJob>& jobs,
+                                 const std::vector<std::size_t>& miss_indices,
+                                 std::vector<EvalOutcome>& outcomes) {
+  if (miss_indices.empty()) return;
+  // Publish the batch state *before* any job becomes poppable: a straggler
+  // from the previous batch may grab a fresh job the moment it lands in a
+  // deque, and the pop's queue mutex is its only happens-before edge to
+  // these writes.
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    trace_ = &trace;
+    jobs_ = &jobs;
+    outcomes_ = &outcomes;
+    remaining_ = miss_indices.size();
+  }
+  // Stripe the batch round-robin across the worker deques; stealing
+  // rebalances whatever the stripe got wrong.
+  for (std::size_t n = 0; n < miss_indices.size(); ++n) {
+    WorkerQueue& wq = *queues_[n % queues_.size()];
+    const std::lock_guard<std::mutex> lock(wq.m);
+    wq.q.push_back(miss_indices[n]);
+  }
+  std::unique_lock<std::mutex> lock(m_);
+  ++generation_;
+  work_ready_.notify_all();
+  batch_done_.wait(lock, [&] { return remaining_ == 0; });
+}
+
+std::unique_ptr<EvalEngine> make_engine(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  // A one-worker pool is just a serial engine paying handoff overhead.
+  if (num_threads == 1) return std::make_unique<SerialEngine>();
+  return std::make_unique<ThreadPoolEngine>(num_threads);
+}
+
+}  // namespace dmm::core

@@ -11,19 +11,28 @@ namespace dmm::core {
 
 using alloc::DmmConfig;
 
+namespace {
+/// Batch size for the streaming modes (exhaustive / random search): large
+/// enough to keep a pool busy, small enough that the evaluation budget is
+/// respected closely.  Deliberately independent of the engine's thread
+/// count so the simulations/cache_hits accounting never varies with it.
+constexpr std::size_t kStreamBatch = 64;
+}  // namespace
+
 Explorer::Explorer(AllocTrace trace, ExplorerOptions opts)
-    : trace_(std::move(trace)), opts_(opts) {}
+    : Explorer(std::make_shared<const AllocTrace>(std::move(trace)), opts) {}
+
+Explorer::Explorer(std::shared_ptr<const AllocTrace> trace,
+                   ExplorerOptions opts)
+    : trace_(std::move(trace)),
+      opts_(opts),
+      engine_(make_engine(opts.num_threads)) {}
 
 SimResult Explorer::score(const DmmConfig& cfg,
                           std::uint64_t* work_steps) const {
-  sysmem::SystemArena arena;
-  // strict accounting off: exploration replays thousands of events per
-  // candidate and only footprint/work are scored.
-  alloc::CustomManager mgr(arena, cfg, "candidate",
-                           /*strict_accounting=*/false);
-  SimResult sim = simulate(trace_, mgr);
-  if (work_steps != nullptr) *work_steps = mgr.work_steps();
-  return sim;
+  const EvalOutcome out = score_candidate(*trace_, {cfg, 0});
+  if (work_steps != nullptr) *work_steps = out.work_steps;
+  return out.sim;
 }
 
 double Explorer::objective(const ExplorerOptions& opts, const SimResult& sim,
@@ -31,6 +40,20 @@ double Explorer::objective(const ExplorerOptions& opts, const SimResult& sim,
   if (sim.failed_allocs > 0) return std::numeric_limits<double>::infinity();
   return static_cast<double>(sim.peak_footprint) +
          opts.time_weight * static_cast<double>(work);
+}
+
+std::vector<EvalOutcome> Explorer::evaluate(const std::vector<EvalJob>& jobs,
+                                            ScoreCache* cache,
+                                            ExplorationResult& result) {
+  std::vector<EvalOutcome> outcomes = engine_->evaluate(*trace_, jobs, cache);
+  for (const EvalOutcome& out : outcomes) {
+    if (out.from_cache) {
+      ++result.cache_hits;
+    } else {
+      ++result.simulations;
+    }
+  }
+  return outcomes;
 }
 
 namespace {
@@ -50,17 +73,40 @@ bool better(double obj_a, double avg_a, std::uint64_t work_a, double obj_b,
 }
 }  // namespace
 
+/// Running "best so far" over a stream of outcomes, processed in job
+/// order — the selection is a strict left fold, which is what keeps the
+/// winner independent of how the engine scheduled the replays.
+struct Explorer::BestTracker {
+  double obj = std::numeric_limits<double>::infinity();
+  double avg = std::numeric_limits<double>::infinity();
+  std::uint64_t work = std::numeric_limits<std::uint64_t>::max();
+  bool any = false;
+
+  /// True iff @p out displaces the incumbent.
+  bool offer(const ExplorerOptions& opts, const EvalOutcome& out) {
+    const double o = objective(opts, out.sim, out.work_steps);
+    if (any && !better(o, out.sim.avg_footprint, out.work_steps, obj, avg,
+                       work)) {
+      return false;
+    }
+    obj = o;
+    avg = out.sim.avg_footprint;
+    work = out.work_steps;
+    any = true;
+    return true;
+  }
+};
+
 ExplorationResult Explorer::explore(const std::vector<TreeId>& order) {
   ExplorationResult result;
+  ScoreCache cache;
+  ScoreCache* cache_ptr = opts_.cache ? &cache : nullptr;
   DmmConfig cfg = opts_.defaults;
   DecidedMask decided{};
   for (TreeId tree : order) {
     StepLog step;
     step.tree = tree;
-    double best_obj = std::numeric_limits<double>::infinity();
-    double best_avg = std::numeric_limits<double>::infinity();
-    std::uint64_t best_work = std::numeric_limits<std::uint64_t>::max();
-    int best_leaf = -1;
+    std::vector<EvalJob> jobs;
     for (int leaf = 0; leaf < leaf_count(tree); ++leaf) {
       CandidateScore cand;
       cand.leaf = leaf;
@@ -71,25 +117,22 @@ ExplorationResult Explorer::explore(const std::vector<TreeId>& order) {
         set_leaf(probe, tree, leaf);
         DecidedMask probe_decided = decided;
         probe_decided[static_cast<std::size_t>(tree)] = true;
-        const DmmConfig complete = Constraints::repair(probe, probe_decided);
-        std::uint64_t work = 0;
-        const SimResult sim = score(complete, &work);
-        ++result.simulations;
-        cand.peak_footprint = sim.peak_footprint;
-        cand.avg_footprint = sim.avg_footprint;
-        cand.work_steps = work;
-        cand.failed_allocs = sim.failed_allocs;
-        const double obj = objective(opts_, sim, work);
-        if (best_leaf < 0 ||
-            better(obj, sim.avg_footprint, work, best_obj, best_avg,
-                   best_work)) {
-          best_obj = obj;
-          best_avg = sim.avg_footprint;
-          best_work = work;
-          best_leaf = leaf;
-        }
+        jobs.push_back({Constraints::repair(probe, probe_decided),
+                        static_cast<std::uint64_t>(leaf)});
       }
       step.candidates.push_back(cand);
+    }
+    const std::vector<EvalOutcome> outcomes =
+        evaluate(jobs, cache_ptr, result);
+    BestTracker best;
+    int best_leaf = -1;
+    for (const EvalOutcome& out : outcomes) {
+      CandidateScore& cand = step.candidates[out.tag];
+      cand.peak_footprint = out.sim.peak_footprint;
+      cand.avg_footprint = out.sim.avg_footprint;
+      cand.work_steps = out.work_steps;
+      cand.failed_allocs = out.sim.failed_allocs;
+      if (best.offer(opts_, out)) best_leaf = static_cast<int>(out.tag);
     }
     if (best_leaf < 0) {
       // No admissible leaf: keep the default (cannot happen with a
@@ -102,61 +145,62 @@ ExplorationResult Explorer::explore(const std::vector<TreeId>& order) {
     result.steps.push_back(std::move(step));
   }
   result.best = Constraints::repair(cfg, decided);
-  result.best_sim = score(result.best, &result.work_steps);
-  ++result.simulations;
+  const std::vector<EvalOutcome> final_out =
+      evaluate({{result.best, 0}}, cache_ptr, result);
+  result.best_sim = final_out[0].sim;
+  result.work_steps = final_out[0].work_steps;
   return result;
 }
 
 ExplorationResult Explorer::exhaustive(const std::vector<TreeId>& trees,
                                        std::size_t max_evals) {
   ExplorationResult result;
-  double best_obj = std::numeric_limits<double>::infinity();
-  double best_avg = std::numeric_limits<double>::infinity();
-  std::uint64_t best_work = std::numeric_limits<std::uint64_t>::max();
+  ScoreCache cache;
+  ScoreCache* cache_ptr = opts_.cache ? &cache : nullptr;
+  BestTracker best;
   DecidedMask decided{};
   for (TreeId t : trees) decided[static_cast<std::size_t>(t)] = true;
 
   std::vector<int> leaf(trees.size(), 0);
+  std::uint64_t evaluations = 0;
   bool done = false;
-  while (!done && result.simulations < max_evals) {
-    DmmConfig cfg = opts_.defaults;
-    for (std::size_t i = 0; i < trees.size(); ++i) {
-      set_leaf(cfg, trees[i], leaf[i]);
-    }
-    cfg = Constraints::repair(cfg, decided);
-    bool valid = true;
-    for (const alloc::RuleViolation& v : alloc::check_rules(cfg)) {
-      if (v.hard || opts_.prune_soft) {
-        valid = false;
-        break;
+  while (!done && evaluations < max_evals) {
+    // Collect the next window of valid vectors, then score it as one batch.
+    std::vector<EvalJob> jobs;
+    while (!done && jobs.size() < kStreamBatch &&
+           evaluations + jobs.size() < max_evals) {
+      DmmConfig cfg = opts_.defaults;
+      for (std::size_t i = 0; i < trees.size(); ++i) {
+        set_leaf(cfg, trees[i], leaf[i]);
+      }
+      cfg = Constraints::repair(cfg, decided);
+      bool valid = true;
+      for (const alloc::RuleViolation& v : alloc::check_rules(cfg)) {
+        if (v.hard || opts_.prune_soft) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid) jobs.push_back({cfg, jobs.size()});
+      // odometer increment
+      std::size_t pos = 0;
+      for (;;) {
+        if (pos == trees.size()) {
+          done = true;
+          break;
+        }
+        if (++leaf[pos] < leaf_count(trees[pos])) break;
+        leaf[pos] = 0;
+        ++pos;
       }
     }
-    if (valid) {
-      std::uint64_t work = 0;
-      const SimResult sim = score(cfg, &work);
-      ++result.simulations;
-      const double obj = objective(opts_, sim, work);
-      if (result.simulations == 1 ||
-          better(obj, sim.avg_footprint, work, best_obj, best_avg,
-                 best_work)) {
-        best_obj = obj;
-        best_avg = sim.avg_footprint;
-        best_work = work;
-        result.best = cfg;
-        result.best_sim = sim;
-        result.work_steps = work;
+    evaluations += jobs.size();
+    for (const EvalOutcome& out : evaluate(jobs, cache_ptr, result)) {
+      if (best.offer(opts_, out)) {
+        result.best = jobs[out.tag].cfg;
+        result.best_sim = out.sim;
+        result.work_steps = out.work_steps;
       }
-    }
-    // odometer increment
-    std::size_t pos = 0;
-    for (;;) {
-      if (pos == trees.size()) {
-        done = true;
-        break;
-      }
-      if (++leaf[pos] < leaf_count(trees[pos])) break;
-      leaf[pos] = 0;
-      ++pos;
     }
   }
   return result;
@@ -165,41 +209,45 @@ ExplorationResult Explorer::exhaustive(const std::vector<TreeId>& trees,
 ExplorationResult Explorer::random_search(std::size_t samples,
                                           unsigned seed) {
   ExplorationResult result;
+  ScoreCache cache;
+  ScoreCache* cache_ptr = opts_.cache ? &cache : nullptr;
+  BestTracker best;
   std::mt19937 rng(seed);
-  double best_obj = std::numeric_limits<double>::infinity();
-  double best_avg = std::numeric_limits<double>::infinity();
-  std::uint64_t best_work = std::numeric_limits<std::uint64_t>::max();
-  // Budget = number of *simulations*, matching the ordered traversal's
-  // accounting; invalid draws are rejected without charge (bounded).
+  // Budget = number of *evaluations* (replays + cache hits), matching the
+  // ordered traversal's accounting; invalid draws are rejected without
+  // charge (bounded).
   const std::size_t max_attempts = samples * 500 + 1000;
-  for (std::size_t attempt = 0;
-       attempt < max_attempts && result.simulations < samples; ++attempt) {
-    DmmConfig cfg = opts_.defaults;
-    for (TreeId t : all_trees()) {
-      set_leaf(cfg, t,
-               static_cast<int>(rng() % static_cast<unsigned>(leaf_count(t))));
-    }
-    bool valid = true;
-    for (const alloc::RuleViolation& v : alloc::check_rules(cfg)) {
-      if (v.hard || opts_.prune_soft) {
-        valid = false;
-        break;
+  std::size_t attempts = 0;
+  std::uint64_t evaluations = 0;
+  while (attempts < max_attempts && evaluations < samples) {
+    std::vector<EvalJob> jobs;
+    while (attempts < max_attempts &&
+           evaluations + jobs.size() < samples &&
+           jobs.size() < kStreamBatch) {
+      ++attempts;
+      DmmConfig cfg = opts_.defaults;
+      for (TreeId t : all_trees()) {
+        set_leaf(
+            cfg, t,
+            static_cast<int>(rng() % static_cast<unsigned>(leaf_count(t))));
       }
+      bool valid = true;
+      for (const alloc::RuleViolation& v : alloc::check_rules(cfg)) {
+        if (v.hard || opts_.prune_soft) {
+          valid = false;
+          break;
+        }
+      }
+      if (!valid) continue;
+      jobs.push_back({cfg, jobs.size()});
     }
-    if (!valid) continue;
-    std::uint64_t work = 0;
-    const SimResult sim = score(cfg, &work);
-    ++result.simulations;
-    const double obj = objective(opts_, sim, work);
-    if (result.simulations == 1 ||
-        better(obj, sim.avg_footprint, work, best_obj, best_avg,
-               best_work)) {
-      best_obj = obj;
-      best_avg = sim.avg_footprint;
-      best_work = work;
-      result.best = cfg;
-      result.best_sim = sim;
-      result.work_steps = work;
+    evaluations += jobs.size();
+    for (const EvalOutcome& out : evaluate(jobs, cache_ptr, result)) {
+      if (best.offer(opts_, out)) {
+        result.best = jobs[out.tag].cfg;
+        result.best_sim = out.sim;
+        result.work_steps = out.work_steps;
+      }
     }
   }
   return result;

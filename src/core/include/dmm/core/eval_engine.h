@@ -1,0 +1,168 @@
+#ifndef DMM_CORE_EVAL_ENGINE_H
+#define DMM_CORE_EVAL_ENGINE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dmm/alloc/config.h"
+#include "dmm/core/simulator.h"
+#include "dmm/core/trace.h"
+
+namespace dmm::core {
+
+/// One candidate evaluation: a complete decision vector plus a caller tag
+/// (leaf index, odometer position, ...) for mapping the result back.
+struct EvalJob {
+  alloc::DmmConfig cfg{};
+  std::uint64_t tag = 0;
+};
+
+/// What scoring one job produced.  `from_cache` marks evaluations served
+/// without a trace replay (memoized, or a duplicate within the batch).
+struct EvalOutcome {
+  std::uint64_t tag = 0;
+  SimResult sim{};
+  std::uint64_t work_steps = 0;
+  bool from_cache = false;
+};
+
+/// Memoized candidate scores, keyed by the *canonical* decision vector
+/// (see alloc::canonical) so behaviourally identical completions collide.
+///
+/// The cache is only ever touched by the coordinating thread — engines
+/// look up before dispatch and insert after the batch joins — so it needs
+/// no locking.  One cache lives per exploration run.
+class ScoreCache {
+ public:
+  struct Entry {
+    SimResult sim{};
+    std::uint64_t work_steps = 0;
+  };
+
+  /// nullptr when the canonical form of @p cfg has not been scored yet.
+  [[nodiscard]] const Entry* lookup(const alloc::DmmConfig& cfg) const;
+  void insert(const alloc::DmmConfig& cfg, Entry entry);
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  void clear() { map_.clear(); }
+
+ private:
+  std::unordered_map<alloc::DmmConfig, Entry, alloc::DmmConfigHash> map_;
+};
+
+/// Replays @p trace through a manager built from @p job.cfg — one isolated
+/// arena per call, so it is safe from any thread.
+[[nodiscard]] EvalOutcome score_candidate(const AllocTrace& trace,
+                                          const EvalJob& job);
+
+/// The seam every evaluation backend plugs into: the Explorer submits
+/// batches of independent candidate evaluations and gets outcomes back
+/// *in job order*, bit-identical across engines.
+///
+/// The base class owns the caching protocol so all engines agree on it:
+/// cache lookups and within-batch deduplication happen up front on the
+/// coordinating thread, only the unique misses reach run_batch(), and
+/// results are inserted afterwards.  That makes `from_cache` (and hence
+/// the Explorer's simulations/cache_hits accounting) a function of the
+/// job stream alone — never of thread count or scheduling.
+class EvalEngine {
+ public:
+  virtual ~EvalEngine() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Worker parallelism (1 for the serial engine).
+  [[nodiscard]] virtual unsigned threads() const { return 1; }
+
+  /// Scores every job; outcomes are returned in job order.  @p cache may
+  /// be null (every job then replays, matching the pre-engine Explorer).
+  [[nodiscard]] std::vector<EvalOutcome> evaluate(
+      const AllocTrace& trace, const std::vector<EvalJob>& jobs,
+      ScoreCache* cache = nullptr);
+
+ protected:
+  /// Replays jobs[i] for every i in @p miss_indices, writing outcomes[i].
+  /// Indices are distinct; slots may be filled in any order.
+  virtual void run_batch(const AllocTrace& trace,
+                         const std::vector<EvalJob>& jobs,
+                         const std::vector<std::size_t>& miss_indices,
+                         std::vector<EvalOutcome>& outcomes) = 0;
+};
+
+/// In-thread reference engine: evaluates misses one after the other.
+class SerialEngine : public EvalEngine {
+ public:
+  [[nodiscard]] std::string name() const override { return "serial"; }
+
+ protected:
+  void run_batch(const AllocTrace& trace, const std::vector<EvalJob>& jobs,
+                 const std::vector<std::size_t>& miss_indices,
+                 std::vector<EvalOutcome>& outcomes) override;
+};
+
+/// Persistent std::thread pool with per-worker work-stealing deques.
+///
+/// Each worker drains its own deque from the back and steals from the
+/// front of its siblings' when empty — candidate replays vary wildly in
+/// cost (a config that thrashes the free index replays 10x slower), so
+/// static striping alone leaves workers idle.  Outcomes are written into
+/// index-addressed slots, keeping result order deterministic.
+class ThreadPoolEngine : public EvalEngine {
+ public:
+  /// @param num_threads  worker count; 0 = one per hardware thread.
+  explicit ThreadPoolEngine(unsigned num_threads = 0);
+  ~ThreadPoolEngine() override;
+
+  ThreadPoolEngine(const ThreadPoolEngine&) = delete;
+  ThreadPoolEngine& operator=(const ThreadPoolEngine&) = delete;
+
+  [[nodiscard]] std::string name() const override { return "thread-pool"; }
+  [[nodiscard]] unsigned threads() const override {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ protected:
+  void run_batch(const AllocTrace& trace, const std::vector<EvalJob>& jobs,
+                 const std::vector<std::size_t>& miss_indices,
+                 std::vector<EvalOutcome>& outcomes) override;
+
+ private:
+  void worker_main(std::size_t self);
+  /// Pops from own deque (back) or steals (front); false when drained.
+  [[nodiscard]] bool next_job(std::size_t self, std::size_t* out);
+
+  // Per-worker job deques; each guarded by its own mutex so thieves only
+  // contend with the owner of the deque they rob.
+  struct WorkerQueue {
+    std::mutex m;
+    std::deque<std::size_t> q;
+  };
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+
+  // Batch handoff state, guarded by m_.
+  std::mutex m_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  const AllocTrace* trace_ = nullptr;
+  const std::vector<EvalJob>* jobs_ = nullptr;
+  std::vector<EvalOutcome>* outcomes_ = nullptr;
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+/// Engine factory used by ExplorerOptions: 1 thread = serial, otherwise a
+/// pool (0 = hardware concurrency).
+[[nodiscard]] std::unique_ptr<EvalEngine> make_engine(unsigned num_threads);
+
+}  // namespace dmm::core
+
+#endif  // DMM_CORE_EVAL_ENGINE_H

@@ -2,11 +2,13 @@
 #define DMM_CORE_EXPLORER_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dmm/alloc/config.h"
 #include "dmm/core/constraints.h"
+#include "dmm/core/eval_engine.h"
 #include "dmm/core/order.h"
 #include "dmm/core/simulator.h"
 #include "dmm/core/trace.h"
@@ -30,6 +32,14 @@ struct ExplorerOptions {
   /// Secondary objective weight: score = peak + time_weight * work_steps.
   /// 0 keeps the paper's pure-footprint objective (work only tie-breaks).
   double time_weight = 0.0;
+  /// Candidate-evaluation parallelism: 1 = in-thread serial engine,
+  /// N > 1 = ThreadPoolEngine with N workers, 0 = one worker per hardware
+  /// thread.  Results are bit-identical regardless of this value.
+  unsigned num_threads = 1;
+  /// Memoize candidate scores for the duration of one search call —
+  /// repaired completions collide often in the greedy walk, and a hit
+  /// skips a whole trace replay.
+  bool cache = true;
 };
 
 /// Score of one candidate leaf during a traversal step.
@@ -55,16 +65,27 @@ struct ExplorationResult {
   SimResult best_sim{};
   std::uint64_t work_steps = 0;     ///< manager work during best replay
   std::vector<StepLog> steps;       ///< ordered-traversal log (if used)
-  std::uint64_t simulations = 0;    ///< trace replays spent
+  std::uint64_t simulations = 0;    ///< trace replays actually executed
+  std::uint64_t cache_hits = 0;     ///< evaluations served by the ScoreCache
 };
 
 /// Trace-driven design-space search: the executable form of the paper's
 /// methodology.  The headline mode is explore(), the ordered greedy
 /// traversal of Sec. 4.2 with constraint propagation; exhaustive() and
 /// random_search() exist to validate it (and power the ablation benches).
+///
+/// Candidate evaluations are independent (one isolated arena per replay),
+/// so every mode submits them in batches to a pluggable EvalEngine; the
+/// trace is held immutably behind a shared_ptr so pool workers replay it
+/// without copies.  Search results — best vector, step logs, simulation
+/// and cache-hit counts — are bit-identical across engines and thread
+/// counts (wall time in best_sim is the one measured, not replayed).
 class Explorer {
  public:
   explicit Explorer(AllocTrace trace, ExplorerOptions opts = {});
+  /// Shares an already-recorded trace with other explorers / threads.
+  explicit Explorer(std::shared_ptr<const AllocTrace> trace,
+                    ExplorerOptions opts = {});
 
   /// Greedy ordered traversal: decide trees in @p order, scoring each
   /// admissible leaf by replaying the trace on the repaired completion.
@@ -73,7 +94,7 @@ class Explorer {
 
   /// Exhaustively scores the cartesian product of the given trees' leaves
   /// (other trees repaired from defaults).  Stops after @p max_evals
-  /// simulations.
+  /// evaluations (replays + cache hits).
   [[nodiscard]] ExplorationResult exhaustive(const std::vector<TreeId>& trees,
                                              std::size_t max_evals = 100000);
 
@@ -86,15 +107,27 @@ class Explorer {
   [[nodiscard]] SimResult score(const alloc::DmmConfig& cfg,
                                 std::uint64_t* work_steps = nullptr) const;
 
-  [[nodiscard]] const AllocTrace& trace() const { return trace_; }
+  [[nodiscard]] const AllocTrace& trace() const { return *trace_; }
+  [[nodiscard]] const std::shared_ptr<const AllocTrace>& shared_trace() const {
+    return trace_;
+  }
+  /// The evaluation backend this explorer submits batches to.
+  [[nodiscard]] const EvalEngine& engine() const { return *engine_; }
 
  private:
+  struct BestTracker;
+
   [[nodiscard]] static double objective(const ExplorerOptions& opts,
                                         const SimResult& sim,
                                         std::uint64_t work);
+  /// Evaluates a batch, charging replays/hits to @p result.
+  [[nodiscard]] std::vector<EvalOutcome> evaluate(
+      const std::vector<EvalJob>& jobs, ScoreCache* cache,
+      ExplorationResult& result);
 
-  AllocTrace trace_;
+  std::shared_ptr<const AllocTrace> trace_;
   ExplorerOptions opts_;
+  std::unique_ptr<EvalEngine> engine_;
 };
 
 }  // namespace dmm::core

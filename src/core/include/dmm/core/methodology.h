@@ -29,6 +29,8 @@ struct MethodologyResult {
   /// Per-phase exploration logs (decision walks as in Sec. 5).
   std::vector<ExplorationResult> phase_results;
   std::uint64_t total_simulations = 0;
+  /// Evaluations the per-exploration ScoreCache answered without a replay.
+  std::uint64_t total_cache_hits = 0;
 
   /// Instantiates the designed manager over @p arena: a single atomic
   /// CustomManager for single-phase applications, a GlobalManager

@@ -46,6 +46,7 @@ MethodologyResult design_manager(const AllocTrace& trace,
     Explorer explorer(sub, options.explorer_options);
     ExplorationResult r = explorer.explore(options.order);
     result.total_simulations += r.simulations;
+    result.total_cache_hits += r.cache_hits;
     result.phase_configs.push_back(r.best);
     result.phase_results.push_back(std::move(r));
   }

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 
@@ -33,11 +34,32 @@ namespace dmm::sysmem {
 /// The arena is deliberately single-threaded: the paper's methodology is
 /// applied per application phase on an embedded RTOS where the manager runs
 /// under one lock anyway.  (Thread-safety would only blur the footprint
-/// accounting the experiments need.)
+/// accounting the experiments need.)  Distinct arenas on distinct threads
+/// are fully independent.
+///
+/// **Deterministic addresses.**  Chunks are carved from one reserved slab
+/// (lowest-offset-first reuse of released regions), so an identical
+/// request/release sequence yields identical chunk *offsets* — and hence
+/// identical address ordering — in every run, on every thread.  Managers
+/// keep address-sorted free lists and first-fit scan orders; without this,
+/// two replays of the same candidate could disagree, and the parallel
+/// exploration engine could not promise bit-identical results to the
+/// serial one.
 class SystemArena {
  public:
   /// Page granularity used to round requests, like an MMU page.
   static constexpr std::size_t kDefaultPageSize = 4096;
+
+  /// Virtual reservation backing one arena (lazily mapped, pages commit on
+  /// touch).  ~1000x the largest workload footprint in the repo; request()
+  /// fails like an exhausted OS once it is spent.  Shrunk on 32-bit hosts,
+  /// where 4 GiB does not even fit in size_t.
+  static constexpr std::size_t kSlabBytes = sizeof(std::size_t) >= 8
+                                                ? std::size_t{1} << 32
+                                                : std::size_t{1} << 30;
+  /// Reservation used by the no-mmap fallback, which allocates eagerly and
+  /// therefore must stay modest.
+  static constexpr std::size_t kFallbackSlabBytes = std::size_t{1} << 28;
 
   /// Signature: (stats, delta_bytes) with delta>0 for growth, <0 for shrink.
   using Observer = std::function<void(const ArenaStats&, long long)>;
@@ -98,6 +120,12 @@ class SystemArena {
   [[nodiscard]] std::size_t grant_size(const std::byte* ptr) const;
 
  private:
+  /// Maps the slab on first use (keeps never-used arenas free).
+  [[nodiscard]] bool ensure_slab();
+  /// Lowest-offset region of >= @p size bytes, or npos.
+  [[nodiscard]] std::size_t take_region(std::size_t size);
+  void give_region(std::size_t offset, std::size_t size);
+
   std::size_t capacity_;
   std::size_t page_size_;
   ArenaStats stats_;
@@ -105,6 +133,14 @@ class SystemArena {
   // Live grants: base pointer -> granted size.  unordered_map keeps
   // release() O(1); the arena is bookkeeping, not the hot path under test.
   std::unordered_map<const std::byte*, std::size_t> grants_;
+
+  // Deterministic slab: released regions keyed by offset (ordered, so
+  // reuse is lowest-offset-first), plus a bump pointer for fresh carves.
+  std::byte* slab_ = nullptr;
+  std::size_t slab_bytes_ = 0;  ///< reservation size actually mapped
+  bool slab_failed_ = false;    ///< reservation failed; don't retry
+  std::size_t bump_ = 0;
+  std::map<std::size_t, std::size_t> free_regions_;  // offset -> size
 };
 
 }  // namespace dmm::sysmem
