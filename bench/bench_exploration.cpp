@@ -3,71 +3,195 @@
 //   1. the greedy ordered traversal vs exhaustive ground truth on the
 //      high-impact subspace, and vs random sampling at equal budget;
 //   2. the published traversal order vs alternatives, per case study.
-// Also reports the search cost (trace replays) of each strategy.
+// Also reports the search cost (trace replays) of each strategy, the
+// cross-search savings of running every strategy against one
+// SharedScoreCache, and the replay reduction of enumerating the canonical
+// quotient space in exhaustive().  Emits BENCH_cache.json for the perf
+// trajectory.
+//
+// Optional argv[1]: cap on trace events (0 = full trace).  Full case-study
+// traces replay for minutes per search on a 1-core box; ~6000 keeps a CI
+// smoke run fast without changing what is measured.
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
 
 #include "bench_util.h"
 #include "dmm/core/explorer.h"
 
-int main() {
+namespace {
+
+struct SearchRow {
+  const char* name;
+  const dmm::core::ExplorationResult* result;
+};
+
+void print_row(const SearchRow& row) {
+  std::printf("%-34s %14zu %8llu %6llu %6llu\n", row.name,
+              row.result->best_sim.peak_footprint,
+              static_cast<unsigned long long>(row.result->simulations),
+              static_cast<unsigned long long>(row.result->cache_hits),
+              static_cast<unsigned long long>(row.result->cross_search_hits));
+}
+
+void json_row(std::FILE* json, bool first, const SearchRow& row) {
+  std::fprintf(json,
+               "%s\n        {\"search\": \"%s\", \"peak\": %zu, "
+               "\"replays\": %llu, \"cache_hits\": %llu, "
+               "\"cross_search_hits\": %llu}",
+               first ? "" : ",", row.name, row.result->best_sim.peak_footprint,
+               static_cast<unsigned long long>(row.result->simulations),
+               static_cast<unsigned long long>(row.result->cache_hits),
+               static_cast<unsigned long long>(row.result->cross_search_hits));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace dmm;
   using core::TreeId;
 
-  std::printf("Exploration strategy ablation\n");
+  const std::size_t max_events = bench::event_cap_arg(argc, argv);
+
+  std::printf("Exploration strategy ablation (shared score cache)\n");
   bench::print_rule('=');
 
+  std::FILE* json = std::fopen("BENCH_cache.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_cache.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"exploration_cache\",\n");
+  std::fprintf(json, "  \"workloads\": [");
+
+  bool first_workload = true;
+  bool all_prunes_kept_best = true;
   for (const workloads::Workload& w : workloads::case_studies()) {
-    const core::AllocTrace trace = workloads::record_trace(w, 1);
+    core::AllocTrace recorded = workloads::record_trace(w, 1);
+    bench::cap_events(recorded, max_events);
+    const auto trace =
+        std::make_shared<const core::AllocTrace>(std::move(recorded));
     std::printf("\n== %s (%zu events, %zu distinct sizes) ==\n",
-                w.name.c_str(), trace.size(), trace.stats().distinct_sizes);
-    std::printf("%-34s %14s %8s %6s\n", "strategy", "peak (B)", "replays",
-                "cached");
+                w.name.c_str(), trace->size(),
+                trace->stats().distinct_sizes);
+    std::printf("%-34s %14s %8s %6s %6s\n", "strategy", "peak (B)", "replays",
+                "cached", "cross");
     bench::print_rule();
 
-    core::Explorer ex(trace);
+    // One cache serves every strategy on this trace: the later searches
+    // ride the replays the earlier ones paid for (cross-search hits).
+    core::ExplorerOptions opts;
+    opts.shared_cache = std::make_shared<core::SharedScoreCache>();
+    core::Explorer ex(trace, opts);
 
     const core::ExplorationResult greedy = ex.explore(core::paper_order());
-    std::printf("%-34s %14zu %8llu %6llu\n", "greedy, published order",
-                greedy.best_sim.peak_footprint,
-                static_cast<unsigned long long>(greedy.simulations),
-                static_cast<unsigned long long>(greedy.cache_hits));
-
     const core::ExplorationResult wrong = ex.explore(core::fig4_wrong_order());
-    std::printf("%-34s %14zu %8llu %6llu\n", "greedy, Fig. 4 wrong order",
-                wrong.best_sim.peak_footprint,
-                static_cast<unsigned long long>(wrong.simulations),
-                static_cast<unsigned long long>(wrong.cache_hits));
-
     const core::ExplorationResult naive = ex.explore(core::naive_order());
-    std::printf("%-34s %14zu %8llu %6llu\n", "greedy, naive A1..E2 order",
-                naive.best_sim.peak_footprint,
-                static_cast<unsigned long long>(naive.simulations),
-                static_cast<unsigned long long>(naive.cache_hits));
-
     // Equal budget = the greedy walk's *evaluations* (replays + hits).
     const core::ExplorationResult random =
         ex.random_search(greedy.simulations + greedy.cache_hits, /*seed=*/42);
-    std::printf("%-34s %14zu %8llu %6llu\n", "random sampling, equal budget",
-                random.best_sim.peak_footprint,
-                static_cast<unsigned long long>(random.simulations),
-                static_cast<unsigned long long>(random.cache_hits));
-
     // Ground truth over the six highest-impact trees (others repaired).
     const std::vector<TreeId> subspace = {TreeId::kA2, TreeId::kA5,
                                           TreeId::kE2, TreeId::kD2,
                                           TreeId::kB4, TreeId::kC1};
     const core::ExplorationResult truth = ex.exhaustive(subspace);
-    std::printf("%-34s %14zu %8llu\n", "exhaustive, A2/A5/E2/D2/B4/C1",
-                truth.best_sim.peak_footprint,
-                static_cast<unsigned long long>(truth.simulations));
 
+    const SearchRow rows[] = {
+        {"greedy, published order", &greedy},
+        {"greedy, Fig. 4 wrong order", &wrong},
+        {"greedy, naive A1..E2 order", &naive},
+        {"random sampling, equal budget", &random},
+        {"exhaustive, A2/A5/E2/D2/B4/C1", &truth},
+    };
+    for (const SearchRow& row : rows) print_row(row);
+
+    const core::SharedScoreCache::Stats stats = opts.shared_cache->stats();
+    const std::uint64_t evals = stats.insertions + stats.hits;
+    const double hit_rate =
+        evals == 0 ? 0.0
+                   : 100.0 * static_cast<double>(stats.hits) /
+                         static_cast<double>(evals);
+    std::printf(
+        "shared cache: %llu entries, %llu hits (%.1f%% of evaluations), "
+        "%llu cross-search\n",
+        static_cast<unsigned long long>(stats.entries),
+        static_cast<unsigned long long>(stats.hits), hit_rate,
+        static_cast<unsigned long long>(stats.cross_search_hits));
     std::printf("greedy-vs-exhaustive gap: %+.2f%%\n",
                 100.0 *
                     (static_cast<double>(greedy.best_sim.peak_footprint) -
                      static_cast<double>(truth.best_sim.peak_footprint)) /
                     static_cast<double>(truth.best_sim.peak_footprint));
     std::printf("winning vector: %s\n", alloc::signature(greedy.best).c_str());
+
+    // Canonical-quotient ablation: enumerate the operational space (hard
+    // rules only) of the alias-rich A5/E2/D2 trees with caches off, so
+    // `simulations` counts every replay of the seed-style enumeration
+    // honestly, then again with the canonical-seen prune.
+    const std::vector<TreeId> alias_space = {TreeId::kA5, TreeId::kE2,
+                                             TreeId::kD2};
+    core::ExplorerOptions raw_opts;
+    raw_opts.prune_soft = false;
+    raw_opts.cache = false;
+    raw_opts.canonical_prune = false;
+    core::Explorer raw_ex(trace, raw_opts);
+    const core::ExplorationResult raw = raw_ex.exhaustive(alias_space);
+    core::ExplorerOptions quotient_opts = raw_opts;
+    quotient_opts.canonical_prune = true;
+    core::Explorer quotient_ex(trace, quotient_opts);
+    const core::ExplorationResult quotient = quotient_ex.exhaustive(alias_space);
+    const bool same_best = raw.best == quotient.best &&
+                           raw.best_sim.peak_footprint ==
+                               quotient.best_sim.peak_footprint;
+    all_prunes_kept_best = all_prunes_kept_best && same_best;
+    const double saved_pct =
+        raw.simulations == 0
+            ? 0.0
+            : 100.0 *
+                  static_cast<double>(raw.simulations - quotient.simulations) /
+                  static_cast<double>(raw.simulations);
+    std::printf(
+        "canonical quotient (A5xE2xD2, operational space): %llu -> %llu "
+        "replays (%.0f%% saved, %llu skips), same best: %s\n",
+        static_cast<unsigned long long>(raw.simulations),
+        static_cast<unsigned long long>(quotient.simulations), saved_pct,
+        static_cast<unsigned long long>(quotient.canonical_skips),
+        same_best ? "yes" : "NO — quotient bug");
+
+    std::fprintf(json, "%s\n    {\n      \"workload\": \"%s\",\n",
+                 first_workload ? "" : ",", w.name.c_str());
+    std::fprintf(json, "      \"events\": %zu,\n", trace->size());
+    std::fprintf(json, "      \"searches\": [");
+    bool first_row = true;
+    for (const SearchRow& row : rows) {
+      json_row(json, first_row, row);
+      first_row = false;
+    }
+    std::fprintf(json, "\n      ],\n");
+    std::fprintf(json,
+                 "      \"cache\": {\"entries\": %llu, \"hits\": %llu, "
+                 "\"hit_rate_pct\": %.2f, \"cross_search_hits\": %llu, "
+                 "\"simulations_saved\": %llu},\n",
+                 static_cast<unsigned long long>(stats.entries),
+                 static_cast<unsigned long long>(stats.hits), hit_rate,
+                 static_cast<unsigned long long>(stats.cross_search_hits),
+                 static_cast<unsigned long long>(stats.hits));
+    std::fprintf(json,
+                 "      \"canonical_prune\": {\"raw_replays\": %llu, "
+                 "\"quotient_replays\": %llu, \"skips\": %llu, "
+                 "\"replays_saved_pct\": %.2f, \"same_best\": %s}\n    }",
+                 static_cast<unsigned long long>(raw.simulations),
+                 static_cast<unsigned long long>(quotient.simulations),
+                 static_cast<unsigned long long>(quotient.canonical_skips),
+                 saved_pct, same_best ? "true" : "false");
+    first_workload = false;
   }
-  return 0;
+
+  std::fprintf(json, "\n  ],\n  \"canonical_prune_kept_best\": %s\n}\n",
+               all_prunes_kept_best ? "true" : "false");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_cache.json\n");
+  return all_prunes_kept_best ? 0 : 1;
 }

@@ -45,9 +45,7 @@ int main(int argc, char** argv) {
   // Optional argv[1]: cap on trace events (0 = full trace).  The full DRR
   // trace replays for minutes per engine config; a cap of ~20000 keeps a
   // smoke run under a minute without changing what is measured.
-  const std::size_t max_events =
-      argc > 1 ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10))
-               : 0;
+  const std::size_t max_events = bench::event_cap_arg(argc, argv);
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<unsigned> thread_counts = {1, 2, 4};
@@ -69,10 +67,7 @@ int main(int argc, char** argv) {
   for (const char* name : {"drr", "render3d"}) {
     core::AllocTrace recorded =
         workloads::record_trace(workloads::case_study(name), 1);
-    if (max_events != 0 && recorded.size() > max_events) {
-      recorded.events().resize(max_events);
-      recorded.close_leaks();
-    }
+    bench::cap_events(recorded, max_events);
     const auto trace =
         std::make_shared<const core::AllocTrace>(std::move(recorded));
     // The scaling workload: the greedy walk plus the exhaustive validator

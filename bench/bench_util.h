@@ -6,6 +6,7 @@
 // for the mapping and the recorded results).
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,24 @@
 #include "dmm/workloads/workload.h"
 
 namespace dmm::bench {
+
+/// Optional argv[1] event cap shared by the trace-replaying benches
+/// (0 = full trace; full case-study traces replay for minutes per search
+/// on a 1-core box, a few thousand events keep a smoke run fast).
+inline std::size_t event_cap_arg(int argc, char** argv) {
+  return argc > 1
+             ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10))
+             : 0;
+}
+
+/// Truncates @p trace to at most @p max_events events (0 = no cap),
+/// closing the leaks the cut introduces so the trace stays replayable.
+inline void cap_events(core::AllocTrace& trace, std::size_t max_events) {
+  if (max_events != 0 && trace.size() > max_events) {
+    trace.events().resize(max_events);
+    trace.close_leaks();
+  }
+}
 
 /// Mean peak footprint of running @p workload on manager @p name over the
 /// given seeds (the paper averages 10 simulations per manager).

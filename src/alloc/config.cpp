@@ -260,6 +260,22 @@ DmmConfig canonical(const DmmConfig& cfg) {
       (c.flexible == FlexibleBlockSize::kCoalesceOnly ||
        c.flexible == FlexibleBlockSize::kSplitAndCoalesce) &&
       c.coalesce_when != CoalesceWhen::kNever;
+  // A mechanism acts only when A5 grants it AND its schedule runs (the
+  // Pool gates on both), so the pair collapses to its effective value:
+  // "granted but never scheduled" and "scheduled but not granted" build
+  // the same manager as "off".
+  c.flexible = can_split && can_coalesce ? FlexibleBlockSize::kSplitAndCoalesce
+               : can_split               ? FlexibleBlockSize::kSplitOnly
+               : can_coalesce            ? FlexibleBlockSize::kCoalesceOnly
+                                         : FlexibleBlockSize::kNone;
+  if (!can_split) c.split_when = SplitWhen::kNever;
+  if (!can_coalesce) c.coalesce_when = CoalesceWhen::kNever;
+  // Self-ordering DDTs ignore the C2 discipline (FreeIndex overrides it).
+  if (c.block_structure == BlockStructure::kSinglySortedBySize ||
+      c.block_structure == BlockStructure::kDoublySortedBySize ||
+      c.block_structure == BlockStructure::kSizeBinaryTree) {
+    c.order = FreeListOrder::kSizeOrdered;
+  }
   if (!can_split) {
     c.split_sizes = defaults.split_sizes;
     c.deferred_split_min = defaults.deferred_split_min;
@@ -279,6 +295,12 @@ DmmConfig canonical(const DmmConfig& cfg) {
     c.static_pool_bytes = defaults.static_pool_bytes;
   }
   return c;
+}
+
+std::size_t hash_combine(std::size_t seed, std::size_t value) {
+  seed ^= value;
+  seed *= 1099511628211ull;  // FNV prime
+  return seed;
 }
 
 std::size_t hash_value(const DmmConfig& cfg) {

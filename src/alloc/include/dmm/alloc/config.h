@@ -172,25 +172,44 @@ struct DmmConfig {
   bool operator==(const DmmConfig&) const = default;
 };
 
-/// Canonical behavioural form of a decision vector: numeric knobs that the
+/// Canonical behavioural form of a decision vector: fields that the
 /// synthesised manager provably never reads under the vector's gating
-/// decisions are reset to their defaults, so two vectors that build
-/// byte-for-byte identical managers compare (and hash) equal.  Dead knobs:
+/// decisions are reset to a fixed representative, so two vectors that build
+/// behaviourally identical managers compare (and hash) equal.
 ///
-///   * split machinery off  -> split_sizes ignored, deferred_split_min dead
-///   * coalesce machinery off -> coalesce_sizes ignored
+/// Dead *leaves* (the manager double-gates each mechanism on A5 and its
+/// schedule, and self-ordering DDTs override C2 — see Pool/FreeIndex):
+///
+///   * splitting runs only when A5 grants it AND E2 != never; the pair is
+///     normalised to its effective value (a granted-but-never mechanism
+///     and a scheduled-but-absent one both collapse to "off")
+///   * coalescing likewise (A5 x D2)
+///   * split machinery off  -> split_sizes (E1) ignored
+///   * coalesce machinery off -> coalesce_sizes (D1) ignored
+///   * size-sorted DDTs (A1) impose their own discipline -> order (C2) dead
+///
+/// Dead numeric knobs:
+///
+///   * split machinery off  -> deferred_split_min dead
 ///   * neither side bounded by class -> max_class_log2 dead
 ///   * adaptivity != static -> static_pool_bytes dead
 ///   * adaptivity == static -> big_request_bytes dead (no dedicated path)
 ///
-/// Tree leaves are never touched — they are the design vector's identity.
-/// The exploration ScoreCache keys on this form, which is what makes the
-/// greedy walk's repaired completions collide into cache hits.
+/// All other leaves are preserved — they are the design vector's identity.
+/// The score caches key on this form: it is what makes the greedy walk's
+/// repaired completions collide into cache hits, and what lets
+/// Explorer::exhaustive enumerate the canonical quotient space instead of
+/// the raw cartesian product.
 [[nodiscard]] DmmConfig canonical(const DmmConfig& cfg);
 
 /// FNV-1a over every field of the vector; agrees with operator==.
 /// Canonicalize first when behavioural identity is wanted.
 [[nodiscard]] std::size_t hash_value(const DmmConfig& cfg);
+
+/// One FNV-1a mixing step, exposed so composite cache keys (e.g. trace
+/// fingerprint x canonical config) hash consistently with this header's
+/// family everywhere they are formed.
+[[nodiscard]] std::size_t hash_combine(std::size_t seed, std::size_t value);
 
 /// Hash functor for unordered containers keyed by DmmConfig.
 struct DmmConfigHash {

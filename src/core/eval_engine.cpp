@@ -17,6 +17,95 @@ void ScoreCache::insert(const alloc::DmmConfig& cfg, Entry entry) {
   map_.insert_or_assign(alloc::canonical(cfg), std::move(entry));
 }
 
+bool ScoreCache::lookup_canonical(const alloc::DmmConfig& canon, Entry* out) {
+  const auto it = map_.find(canon);
+  if (it == map_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void ScoreCache::insert_canonical(const alloc::DmmConfig& canon,
+                                  const Entry& entry) {
+  map_.insert_or_assign(canon, entry);
+}
+
+// ---------------------------------------------------------------------------
+// SharedScoreCache
+// ---------------------------------------------------------------------------
+
+SharedScoreCache::SharedScoreCache(std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SharedScoreCache::Shard& SharedScoreCache::shard_for(const Key& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+SharedScoreCache::Session SharedScoreCache::begin_search(
+    std::uint64_t trace_fingerprint) {
+  return Session(this, trace_fingerprint,
+                 next_search_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+bool SharedScoreCache::Session::lookup_canonical(const alloc::DmmConfig& canon,
+                                                 Entry* out) {
+  const Key key{trace_fingerprint_, canon};
+  Shard& shard = owner_->shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.m);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  *out = it->second.entry;
+  owner_->hits_.fetch_add(1, std::memory_order_relaxed);
+  if (it->second.search_id != search_id_) {
+    ++cross_search_hits_;
+    owner_->cross_search_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void SharedScoreCache::Session::insert_canonical(const alloc::DmmConfig& canon,
+                                                 const Entry& entry) {
+  const Key key{trace_fingerprint_, canon};
+  Shard& shard = owner_->shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.m);
+  // First writer wins: replays are deterministic, so a concurrent loser
+  // holds a bit-identical entry and the stored search_id keeps naming the
+  // session whose replay the map retains.
+  const auto [it, inserted] = shard.map.emplace(key, Stored{entry, search_id_});
+  (void)it;
+  if (inserted) owner_->insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t SharedScoreCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->m);
+    n += shard->map.size();
+  }
+  return n;
+}
+
+SharedScoreCache::Stats SharedScoreCache::stats() const {
+  Stats s;
+  s.searches = next_search_id_.load(std::memory_order_relaxed) - 1;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.cross_search_hits = cross_search_hits_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.entries = size();
+  return s;
+}
+
+void SharedScoreCache::clear() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->m);
+    shard->map.clear();
+  }
+}
+
 EvalOutcome score_candidate(const AllocTrace& trace, const EvalJob& job) {
   EvalOutcome out;
   out.tag = job.tag;
@@ -32,7 +121,7 @@ EvalOutcome score_candidate(const AllocTrace& trace, const EvalJob& job) {
 
 std::vector<EvalOutcome> EvalEngine::evaluate(const AllocTrace& trace,
                                               const std::vector<EvalJob>& jobs,
-                                              ScoreCache* cache) {
+                                              CandidateCache* cache) {
   std::vector<EvalOutcome> outcomes(jobs.size());
   std::vector<std::size_t> misses;
   if (cache == nullptr) {
@@ -41,21 +130,26 @@ std::vector<EvalOutcome> EvalEngine::evaluate(const AllocTrace& trace,
     run_batch(trace, jobs, misses, outcomes);
     return outcomes;
   }
-  // Cache pass on the coordinating thread: resolve hits, collapse
-  // duplicate configs within the batch onto one owner each.
+  // Cache pass on the coordinating thread: canonicalize each job once,
+  // resolve hits, and collapse duplicate configs within the batch onto one
+  // owner each — the same canonical form feeds the lookup, the dedup map,
+  // and the post-batch insert.
+  std::vector<alloc::DmmConfig> canon;
+  canon.reserve(jobs.size());
+  for (const EvalJob& job : jobs) canon.push_back(alloc::canonical(job.cfg));
   std::unordered_map<alloc::DmmConfig, std::size_t, alloc::DmmConfigHash>
       owner_of;
   std::vector<std::pair<std::size_t, std::size_t>> dup_of;  // (dup, owner)
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (const ScoreCache::Entry* hit = cache->lookup(jobs[i].cfg)) {
+    CandidateCache::Entry hit;
+    if (cache->lookup_canonical(canon[i], &hit)) {
       outcomes[i].tag = jobs[i].tag;
-      outcomes[i].sim = hit->sim;
-      outcomes[i].work_steps = hit->work_steps;
+      outcomes[i].sim = hit.sim;
+      outcomes[i].work_steps = hit.work_steps;
       outcomes[i].from_cache = true;
       continue;
     }
-    const auto [it, inserted] =
-        owner_of.emplace(alloc::canonical(jobs[i].cfg), i);
+    const auto [it, inserted] = owner_of.emplace(canon[i], i);
     if (inserted) {
       misses.push_back(i);
     } else {
@@ -64,7 +158,8 @@ std::vector<EvalOutcome> EvalEngine::evaluate(const AllocTrace& trace,
   }
   run_batch(trace, jobs, misses, outcomes);
   for (const std::size_t i : misses) {
-    cache->insert(jobs[i].cfg, {outcomes[i].sim, outcomes[i].work_steps});
+    cache->insert_canonical(canon[i],
+                            {outcomes[i].sim, outcomes[i].work_steps});
   }
   for (const auto& [dup, owner] : dup_of) {
     outcomes[dup] = outcomes[owner];

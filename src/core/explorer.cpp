@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <random>
+#include <unordered_set>
 
 #include "dmm/alloc/custom_manager.h"
 
@@ -17,7 +19,48 @@ namespace {
 /// respected closely.  Deliberately independent of the engine's thread
 /// count so the simulations/cache_hits accounting never varies with it.
 constexpr std::size_t kStreamBatch = 64;
+
+/// Unbiased draw in [0, n) by rejection.  `rng() % n` over-samples low
+/// leaves (2^32 is not a multiple of most leaf counts), and
+/// std::uniform_int_distribution's algorithm is implementation-defined —
+/// the same seed would sample different vectors on different standard
+/// libraries.  This is both unbiased and reproducible everywhere.
+int uniform_leaf(std::mt19937& rng, int n) {
+  const std::uint32_t bound = static_cast<std::uint32_t>(n);
+  const std::uint32_t residue = (0u - bound) % bound;  // 2^32 mod bound
+  for (;;) {
+    const std::uint32_t v = rng();
+    // Accept below the largest multiple of bound (2^32 - residue).
+    if (residue == 0 || v < 0u - residue) {
+      return static_cast<int>(v % bound);
+    }
+  }
+}
 }  // namespace
+
+/// The cache one search call evaluates against: the injected shared
+/// cache's session when configured, a search-local ScoreCache otherwise,
+/// nothing when caching is off.  Built on the stack of each search mode;
+/// harvest cross-search hits from it before returning.
+struct Explorer::SearchCache {
+  ScoreCache local;
+  std::optional<SharedScoreCache::Session> session;
+  CandidateCache* ptr = nullptr;
+
+  SearchCache(const ExplorerOptions& opts, std::uint64_t trace_fingerprint) {
+    if (!opts.cache) return;
+    if (opts.shared_cache != nullptr) {
+      session.emplace(opts.shared_cache->begin_search(trace_fingerprint));
+      ptr = &*session;
+    } else {
+      ptr = &local;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t cross_search_hits() const {
+    return session ? session->cross_search_hits() : 0;
+  }
+};
 
 Explorer::Explorer(AllocTrace trace, ExplorerOptions opts)
     : Explorer(std::make_shared<const AllocTrace>(std::move(trace)), opts) {}
@@ -25,14 +68,24 @@ Explorer::Explorer(AllocTrace trace, ExplorerOptions opts)
 Explorer::Explorer(std::shared_ptr<const AllocTrace> trace,
                    ExplorerOptions opts)
     : trace_(std::move(trace)),
+      trace_fingerprint_(trace_->fingerprint()),
       opts_(opts),
       engine_(make_engine(opts.num_threads)) {}
 
 SimResult Explorer::score(const DmmConfig& cfg,
                           std::uint64_t* work_steps) const {
-  const EvalOutcome out = score_candidate(*trace_, {cfg, 0});
-  if (work_steps != nullptr) *work_steps = out.work_steps;
-  return out.sim;
+  // Same evaluate() caching protocol as the search modes — lookup,
+  // replay on miss, insert — so a shared cache both serves and learns
+  // one-off scores.  The batch runs on a stack-local serial engine, not
+  // the pooled engine_: the pool's per-batch state is not reentrant,
+  // and score() must stay safe to call from any thread (the shared
+  // cache and score_candidate both are).
+  SearchCache cache(opts_, trace_fingerprint_);
+  SerialEngine engine;
+  const std::vector<EvalOutcome> out =
+      engine.evaluate(*trace_, {{cfg, 0}}, cache.ptr);
+  if (work_steps != nullptr) *work_steps = out[0].work_steps;
+  return out[0].sim;
 }
 
 double Explorer::objective(const ExplorerOptions& opts, const SimResult& sim,
@@ -43,7 +96,7 @@ double Explorer::objective(const ExplorerOptions& opts, const SimResult& sim,
 }
 
 std::vector<EvalOutcome> Explorer::evaluate(const std::vector<EvalJob>& jobs,
-                                            ScoreCache* cache,
+                                            CandidateCache* cache,
                                             ExplorationResult& result) {
   std::vector<EvalOutcome> outcomes = engine_->evaluate(*trace_, jobs, cache);
   for (const EvalOutcome& out : outcomes) {
@@ -56,28 +109,36 @@ std::vector<EvalOutcome> Explorer::evaluate(const std::vector<EvalJob>& jobs,
   return outcomes;
 }
 
-namespace {
-// Lexicographic comparison of candidates: primary objective (peak
-// footprint, optionally time-weighted), then average footprint — the
-// paper's "returned back to the system for other applications" benefit —
-// then manager work.  Peaks within 1% count as tied: the paper reports
-// <2% run-to-run variation (Sec. 5), so differences at that scale are
-// placement noise, not design signal.
-bool better(double obj_a, double avg_a, std::uint64_t work_a, double obj_b,
-            double avg_b, std::uint64_t work_b) {
-  const double tol = 0.01 * std::min(obj_a, obj_b);
-  if (std::abs(obj_a - obj_b) > tol) return obj_a < obj_b;
+bool candidate_better(double obj_a, std::uint64_t failed_a, double avg_a,
+                      std::uint64_t work_a, double obj_b,
+                      std::uint64_t failed_b, double avg_b,
+                      std::uint64_t work_b) {
+  // Infinite objectives first: the 1%-band arithmetic below is only
+  // meaningful on finite peaks (inf - inf is NaN, and every comparison
+  // against NaN is false — which used to drop straight through to the
+  // avg-footprint tier and let an infeasible vector win ties).
+  const bool finite_a = std::isfinite(obj_a);
+  const bool finite_b = std::isfinite(obj_b);
+  if (finite_a != finite_b) return finite_a;
+  if (!finite_a) {
+    // Both infeasible: rank by distance to feasibility so the reported
+    // least-bad vector is deterministic and meaningful.
+    if (failed_a != failed_b) return failed_a < failed_b;
+  } else {
+    const double tol = 0.01 * std::min(obj_a, obj_b);
+    if (std::abs(obj_a - obj_b) > tol) return obj_a < obj_b;
+  }
   const double avg_tol = 0.01 * std::min(avg_a, avg_b);
   if (std::abs(avg_a - avg_b) > avg_tol) return avg_a < avg_b;
   return work_a < work_b;
 }
-}  // namespace
 
 /// Running "best so far" over a stream of outcomes, processed in job
 /// order — the selection is a strict left fold, which is what keeps the
 /// winner independent of how the engine scheduled the replays.
 struct Explorer::BestTracker {
   double obj = std::numeric_limits<double>::infinity();
+  std::uint64_t failed = std::numeric_limits<std::uint64_t>::max();
   double avg = std::numeric_limits<double>::infinity();
   std::uint64_t work = std::numeric_limits<std::uint64_t>::max();
   bool any = false;
@@ -85,22 +146,27 @@ struct Explorer::BestTracker {
   /// True iff @p out displaces the incumbent.
   bool offer(const ExplorerOptions& opts, const EvalOutcome& out) {
     const double o = objective(opts, out.sim, out.work_steps);
-    if (any && !better(o, out.sim.avg_footprint, out.work_steps, obj, avg,
-                       work)) {
+    if (any && !candidate_better(o, out.sim.failed_allocs,
+                                 out.sim.avg_footprint, out.work_steps, obj,
+                                 failed, avg, work)) {
       return false;
     }
     obj = o;
+    failed = out.sim.failed_allocs;
     avg = out.sim.avg_footprint;
     work = out.work_steps;
     any = true;
     return true;
   }
+
+  /// The incumbent replayed the trace without a failed allocation.
+  [[nodiscard]] bool feasible() const { return any && failed == 0; }
 };
 
 ExplorationResult Explorer::explore(const std::vector<TreeId>& order) {
   ExplorationResult result;
-  ScoreCache cache;
-  ScoreCache* cache_ptr = opts_.cache ? &cache : nullptr;
+  SearchCache cache(opts_, trace_fingerprint_);
+  CandidateCache* cache_ptr = cache.ptr;
   DmmConfig cfg = opts_.defaults;
   DecidedMask decided{};
   for (TreeId tree : order) {
@@ -149,17 +215,24 @@ ExplorationResult Explorer::explore(const std::vector<TreeId>& order) {
       evaluate({{result.best, 0}}, cache_ptr, result);
   result.best_sim = final_out[0].sim;
   result.work_steps = final_out[0].work_steps;
+  result.feasible = result.best_sim.failed_allocs == 0;
+  result.cross_search_hits = cache.cross_search_hits();
   return result;
 }
 
 ExplorationResult Explorer::exhaustive(const std::vector<TreeId>& trees,
                                        std::size_t max_evals) {
   ExplorationResult result;
-  ScoreCache cache;
-  ScoreCache* cache_ptr = opts_.cache ? &cache : nullptr;
+  SearchCache cache(opts_, trace_fingerprint_);
   BestTracker best;
   DecidedMask decided{};
   for (TreeId t : trees) decided[static_cast<std::size_t>(t)] = true;
+
+  // Canonical quotient of the cartesian product: a vector whose repaired
+  // canonical form was already enumerated builds a behaviourally identical
+  // manager, so it is skipped before a job is built and never charged to
+  // the evaluation budget.
+  std::unordered_set<DmmConfig, alloc::DmmConfigHash> canonical_seen;
 
   std::vector<int> leaf(trees.size(), 0);
   std::uint64_t evaluations = 0;
@@ -181,6 +254,11 @@ ExplorationResult Explorer::exhaustive(const std::vector<TreeId>& trees,
           break;
         }
       }
+      if (valid && opts_.canonical_prune &&
+          !canonical_seen.insert(alloc::canonical(cfg)).second) {
+        ++result.canonical_skips;
+        valid = false;
+      }
       if (valid) jobs.push_back({cfg, jobs.size()});
       // odometer increment
       std::size_t pos = 0;
@@ -195,7 +273,7 @@ ExplorationResult Explorer::exhaustive(const std::vector<TreeId>& trees,
       }
     }
     evaluations += jobs.size();
-    for (const EvalOutcome& out : evaluate(jobs, cache_ptr, result)) {
+    for (const EvalOutcome& out : evaluate(jobs, cache.ptr, result)) {
       if (best.offer(opts_, out)) {
         result.best = jobs[out.tag].cfg;
         result.best_sim = out.sim;
@@ -203,14 +281,15 @@ ExplorationResult Explorer::exhaustive(const std::vector<TreeId>& trees,
       }
     }
   }
+  result.feasible = best.feasible();
+  result.cross_search_hits = cache.cross_search_hits();
   return result;
 }
 
 ExplorationResult Explorer::random_search(std::size_t samples,
                                           unsigned seed) {
   ExplorationResult result;
-  ScoreCache cache;
-  ScoreCache* cache_ptr = opts_.cache ? &cache : nullptr;
+  SearchCache cache(opts_, trace_fingerprint_);
   BestTracker best;
   std::mt19937 rng(seed);
   // Budget = number of *evaluations* (replays + cache hits), matching the
@@ -227,9 +306,7 @@ ExplorationResult Explorer::random_search(std::size_t samples,
       ++attempts;
       DmmConfig cfg = opts_.defaults;
       for (TreeId t : all_trees()) {
-        set_leaf(
-            cfg, t,
-            static_cast<int>(rng() % static_cast<unsigned>(leaf_count(t))));
+        set_leaf(cfg, t, uniform_leaf(rng, leaf_count(t)));
       }
       bool valid = true;
       for (const alloc::RuleViolation& v : alloc::check_rules(cfg)) {
@@ -242,7 +319,7 @@ ExplorationResult Explorer::random_search(std::size_t samples,
       jobs.push_back({cfg, jobs.size()});
     }
     evaluations += jobs.size();
-    for (const EvalOutcome& out : evaluate(jobs, cache_ptr, result)) {
+    for (const EvalOutcome& out : evaluate(jobs, cache.ptr, result)) {
       if (best.offer(opts_, out)) {
         result.best = jobs[out.tag].cfg;
         result.best_sim = out.sim;
@@ -250,6 +327,8 @@ ExplorationResult Explorer::random_search(std::size_t samples,
       }
     }
   }
+  result.feasible = best.feasible();
+  result.cross_search_hits = cache.cross_search_hits();
   return result;
 }
 

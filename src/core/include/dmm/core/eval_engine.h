@@ -1,6 +1,7 @@
 #ifndef DMM_CORE_EVAL_ENGINE_H
 #define DMM_CORE_EVAL_ENGINE_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -33,28 +34,154 @@ struct EvalOutcome {
   bool from_cache = false;
 };
 
-/// Memoized candidate scores, keyed by the *canonical* decision vector
-/// (see alloc::canonical) so behaviourally identical completions collide.
-///
-/// The cache is only ever touched by the coordinating thread — engines
-/// look up before dispatch and insert after the batch joins — so it needs
-/// no locking.  One cache lives per exploration run.
-class ScoreCache {
+/// The caching seam every engine consults during evaluate(): a memoized
+/// score store keyed by *canonical* decision vectors (alloc::canonical).
+/// evaluate() canonicalizes each job exactly once and reuses that form for
+/// the lookup, the in-batch dedup, and the insert, so implementations never
+/// re-canonicalize.  Calls arrive only from the coordinating thread of one
+/// search; thread-safety across *searches* is the implementation's concern
+/// (ScoreCache has none and needs none, SharedScoreCache stripes locks).
+class CandidateCache {
  public:
   struct Entry {
     SimResult sim{};
     std::uint64_t work_steps = 0;
   };
 
+  virtual ~CandidateCache() = default;
+
+  /// True (and *out filled) when @p canon has a memoized score.
+  [[nodiscard]] virtual bool lookup_canonical(const alloc::DmmConfig& canon,
+                                              Entry* out) = 0;
+  virtual void insert_canonical(const alloc::DmmConfig& canon,
+                                const Entry& entry) = 0;
+};
+
+/// Per-search memoized scores — repaired completions collide often within
+/// one greedy walk, and a hit skips a whole trace replay.  Only ever
+/// touched by the search's coordinating thread, so it needs no locking.
+class ScoreCache final : public CandidateCache {
+ public:
+  using Entry = CandidateCache::Entry;
+
   /// nullptr when the canonical form of @p cfg has not been scored yet.
   [[nodiscard]] const Entry* lookup(const alloc::DmmConfig& cfg) const;
   void insert(const alloc::DmmConfig& cfg, Entry entry);
+
+  [[nodiscard]] bool lookup_canonical(const alloc::DmmConfig& canon,
+                                      Entry* out) override;
+  void insert_canonical(const alloc::DmmConfig& canon,
+                        const Entry& entry) override;
 
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   void clear() { map_.clear(); }
 
  private:
   std::unordered_map<alloc::DmmConfig, Entry, alloc::DmmConfigHash> map_;
+};
+
+/// Cross-search score cache: one instance can serve every search of a
+/// design_manager() run (each phase's greedy walk plus the exhaustive /
+/// random validation passes) and any number of concurrent Explorers.
+///
+/// Entries are keyed by trace fingerprint x canonical decision vector, so
+/// searches over the same trace reuse each other's replays while distinct
+/// traces never collide.  The map is sharded by key hash with one mutex
+/// per shard (striped locking): coordinating threads of concurrent
+/// searches only contend when they touch the same shard.
+///
+/// Each search opens a Session (the CandidateCache the engine sees).
+/// Entries remember which session paid for their replay; a hit served from
+/// another session's entry is a *cross-search* hit, which the session
+/// counts and ExplorationResult/MethodologyResult report.  Replays are
+/// deterministic, so concurrent duplicate inserts are benign: the first
+/// write wins and later ones carry identical values.
+class SharedScoreCache {
+ public:
+  using Entry = CandidateCache::Entry;
+
+  static constexpr std::size_t kDefaultShards = 16;
+
+  explicit SharedScoreCache(std::size_t shard_count = kDefaultShards);
+
+  /// Whole-cache counters (monotonic; snapshot under the shard locks).
+  struct Stats {
+    std::uint64_t searches = 0;           ///< sessions opened
+    std::uint64_t hits = 0;               ///< lookups served from the map
+    std::uint64_t cross_search_hits = 0;  ///< ... paid for by another search
+    std::uint64_t insertions = 0;         ///< entries actually added
+    std::uint64_t entries = 0;            ///< live entries (== size())
+  };
+
+  /// One search's view of the cache; implements the engine-facing
+  /// CandidateCache and counts the cross-search hits it was served.
+  /// Sessions are cheap, movable, and single-threaded like the search
+  /// that owns them.
+  class Session final : public CandidateCache {
+   public:
+    [[nodiscard]] bool lookup_canonical(const alloc::DmmConfig& canon,
+                                        Entry* out) override;
+    void insert_canonical(const alloc::DmmConfig& canon,
+                          const Entry& entry) override;
+
+    /// Hits served from entries another search replayed.
+    [[nodiscard]] std::uint64_t cross_search_hits() const {
+      return cross_search_hits_;
+    }
+
+   private:
+    friend class SharedScoreCache;
+    Session(SharedScoreCache* owner, std::uint64_t trace_fingerprint,
+            std::uint64_t search_id)
+        : owner_(owner),
+          trace_fingerprint_(trace_fingerprint),
+          search_id_(search_id) {}
+
+    SharedScoreCache* owner_ = nullptr;
+    std::uint64_t trace_fingerprint_ = 0;
+    std::uint64_t search_id_ = 0;
+    std::uint64_t cross_search_hits_ = 0;
+  };
+
+  /// Opens a session for one search over the trace with @p trace_fingerprint
+  /// (see AllocTrace::fingerprint).
+  [[nodiscard]] Session begin_search(std::uint64_t trace_fingerprint);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+ private:
+  struct Key {
+    std::uint64_t trace_fingerprint = 0;
+    alloc::DmmConfig canon{};  ///< already-canonical decision vector
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const {
+      return alloc::hash_combine(
+          static_cast<std::size_t>(k.trace_fingerprint),
+          alloc::hash_value(k.canon));
+    }
+  };
+  struct Stored {
+    Entry entry{};
+    std::uint64_t search_id = 0;  ///< session that paid for the replay
+  };
+  struct Shard {
+    mutable std::mutex m;
+    std::unordered_map<Key, Stored, KeyHash> map;
+  };
+
+  [[nodiscard]] Shard& shard_for(const Key& key);
+
+  // Shard count is fixed at construction, so the vector is never resized
+  // and Shard addresses stay stable without a global lock.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_search_id_{1};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> cross_search_hits_{0};
+  std::atomic<std::uint64_t> insertions_{0};
 };
 
 /// Replays @p trace through a manager built from @p job.cfg — one isolated
@@ -67,11 +194,13 @@ class ScoreCache {
 /// *in job order*, bit-identical across engines.
 ///
 /// The base class owns the caching protocol so all engines agree on it:
-/// cache lookups and within-batch deduplication happen up front on the
-/// coordinating thread, only the unique misses reach run_batch(), and
-/// results are inserted afterwards.  That makes `from_cache` (and hence
-/// the Explorer's simulations/cache_hits accounting) a function of the
-/// job stream alone — never of thread count or scheduling.
+/// each job is canonicalized exactly once, cache lookups and within-batch
+/// deduplication happen up front on the coordinating thread against that
+/// canonical form, only the unique misses reach run_batch(), and results
+/// are inserted afterwards.  That makes `from_cache` (and hence the
+/// Explorer's simulations/cache_hits accounting) a function of the job
+/// stream and prior cache contents alone — never of thread count or
+/// scheduling.
 class EvalEngine {
  public:
   virtual ~EvalEngine() = default;
@@ -80,11 +209,12 @@ class EvalEngine {
   /// Worker parallelism (1 for the serial engine).
   [[nodiscard]] virtual unsigned threads() const { return 1; }
 
-  /// Scores every job; outcomes are returned in job order.  @p cache may
-  /// be null (every job then replays, matching the pre-engine Explorer).
+  /// Scores every job; outcomes are returned in job order.  @p cache is a
+  /// per-search ScoreCache, a SharedScoreCache::Session, or null (every
+  /// job then replays, matching the pre-engine Explorer).
   [[nodiscard]] std::vector<EvalOutcome> evaluate(
       const AllocTrace& trace, const std::vector<EvalJob>& jobs,
-      ScoreCache* cache = nullptr);
+      CandidateCache* cache = nullptr);
 
  protected:
   /// Replays jobs[i] for every i in @p miss_indices, writing outcomes[i].

@@ -40,6 +40,19 @@ struct ExplorerOptions {
   /// repaired completions collide often in the greedy walk, and a hit
   /// skips a whole trace replay.
   bool cache = true;
+  /// Cross-search score cache shared between searches, explorers, and
+  /// threads (keyed by trace fingerprint x canonical vector).  When set
+  /// (and `cache` is on) it replaces the per-search ScoreCache: every
+  /// search of a design_manager() run — each phase's greedy walk plus the
+  /// exhaustive/random validation passes — reuses the others' replays.
+  /// Search outcomes (best, step logs) are bit-identical either way; only
+  /// the simulations/cache_hits split shifts as more replays are reused.
+  std::shared_ptr<SharedScoreCache> shared_cache;
+  /// exhaustive(): enumerate the canonical quotient space — skip any
+  /// odometer vector whose repaired canonical form was already enumerated
+  /// this run, so the cartesian product collapses to behaviourally
+  /// distinct managers and max_evals buys real coverage.
+  bool canonical_prune = true;
 };
 
 /// Score of one candidate leaf during a traversal step.
@@ -63,11 +76,38 @@ struct StepLog {
 struct ExplorationResult {
   alloc::DmmConfig best{};
   SimResult best_sim{};
+  /// True iff `best` replayed the whole trace without a failed allocation.
+  /// When false no candidate was feasible: `best` is only the least-bad
+  /// vector (fewest failures), not a usable design.
+  bool feasible = false;
   std::uint64_t work_steps = 0;     ///< manager work during best replay
   std::vector<StepLog> steps;       ///< ordered-traversal log (if used)
   std::uint64_t simulations = 0;    ///< trace replays actually executed
-  std::uint64_t cache_hits = 0;     ///< evaluations served by the ScoreCache
+  std::uint64_t cache_hits = 0;     ///< evaluations served by a score cache
+  /// Subset of cache_hits paid for by a *different* search on the shared
+  /// cache (always 0 with the per-search cache).
+  std::uint64_t cross_search_hits = 0;
+  /// exhaustive(): vectors skipped as canonical duplicates of an already
+  /// enumerated one (each would have been a replay or a budgeted hit).
+  std::uint64_t canonical_skips = 0;
 };
+
+/// Lexicographic candidate comparison shared by every search mode: primary
+/// objective (peak footprint, optionally time-weighted), then average
+/// footprint — the paper's "returned back to the system for other
+/// applications" benefit — then manager work.  Peaks within 1% count as
+/// tied: the paper reports <2% run-to-run variation (Sec. 5), so
+/// differences at that scale are placement noise, not design signal.
+///
+/// Infinite objectives (infeasible candidates) are handled explicitly: a
+/// feasible candidate always beats an infeasible one, and two infeasible
+/// ones rank by failed-allocation count (closest to feasible first) — the
+/// naive `abs(obj_a - obj_b) > 0.01 * min(...)` would be NaN when both
+/// objectives are +inf and silently fall through to the footprint tiers.
+[[nodiscard]] bool candidate_better(double obj_a, std::uint64_t failed_a,
+                                    double avg_a, std::uint64_t work_a,
+                                    double obj_b, std::uint64_t failed_b,
+                                    double avg_b, std::uint64_t work_b);
 
 /// Trace-driven design-space search: the executable form of the paper's
 /// methodology.  The headline mode is explore(), the ordered greedy
@@ -103,9 +143,17 @@ class Explorer {
   [[nodiscard]] ExplorationResult random_search(std::size_t samples,
                                                 unsigned seed = 1);
 
-  /// Replays the trace on a custom manager built from @p cfg.
+  /// Replays the trace on a custom manager built from @p cfg.  Routed
+  /// through the evaluation engine and, when configured, the shared score
+  /// cache — so one-off scoring reuses (and contributes) search replays.
   [[nodiscard]] SimResult score(const alloc::DmmConfig& cfg,
                                 std::uint64_t* work_steps = nullptr) const;
+
+  /// Fingerprint of the trace this explorer searches (cached at
+  /// construction; the shared score cache keys on it).
+  [[nodiscard]] std::uint64_t trace_fingerprint() const {
+    return trace_fingerprint_;
+  }
 
   [[nodiscard]] const AllocTrace& trace() const { return *trace_; }
   [[nodiscard]] const std::shared_ptr<const AllocTrace>& shared_trace() const {
@@ -116,16 +164,18 @@ class Explorer {
 
  private:
   struct BestTracker;
+  struct SearchCache;
 
   [[nodiscard]] static double objective(const ExplorerOptions& opts,
                                         const SimResult& sim,
                                         std::uint64_t work);
   /// Evaluates a batch, charging replays/hits to @p result.
   [[nodiscard]] std::vector<EvalOutcome> evaluate(
-      const std::vector<EvalJob>& jobs, ScoreCache* cache,
+      const std::vector<EvalJob>& jobs, CandidateCache* cache,
       ExplorationResult& result);
 
   std::shared_ptr<const AllocTrace> trace_;
+  std::uint64_t trace_fingerprint_ = 0;
   ExplorerOptions opts_;
   std::unique_ptr<EvalEngine> engine_;
 };

@@ -16,9 +16,23 @@ struct MethodologyOptions {
   /// already present in the trace (profiler markers) are used as-is.
   bool detect_phases = false;
   PhaseDetectorOptions phase_options{};
+  /// Steers every per-phase search.  Set explorer_options.shared_cache to
+  /// serve the whole run — all phase walks plus the validation passes —
+  /// from one cross-search score cache.
   ExplorerOptions explorer_options{};
   /// Traversal order (defaults to the published one).
   std::vector<TreeId> order = paper_order();
+  /// Cross-check each phase's greedy walk against the exhaustive searcher
+  /// over validation_trees (the paper's greedy-vs-ground-truth
+  /// comparison).  With a shared cache the validator reuses the walk's
+  /// replays and only pays for vectors the walk never visited.
+  bool validate = false;
+  /// High-impact subspace the validator enumerates (canonical quotient).
+  std::vector<TreeId> validation_trees = {TreeId::kA2, TreeId::kA5,
+                                          TreeId::kE2, TreeId::kD2,
+                                          TreeId::kB4, TreeId::kC1};
+  /// Evaluation budget of each per-phase validation pass.
+  std::size_t validation_max_evals = 100000;
 };
 
 /// Everything the methodology produces for one application.
@@ -28,9 +42,17 @@ struct MethodologyResult {
   std::vector<alloc::DmmConfig> phase_configs;
   /// Per-phase exploration logs (decision walks as in Sec. 5).
   std::vector<ExplorationResult> phase_results;
+  /// Per-phase exhaustive validation passes (empty unless
+  /// MethodologyOptions::validate; entries for empty phases are default).
+  std::vector<ExplorationResult> validation_results;
   std::uint64_t total_simulations = 0;
-  /// Evaluations the per-exploration ScoreCache answered without a replay.
+  /// Evaluations a score cache answered without a replay, across every
+  /// search of the run (walks and validation passes).
   std::uint64_t total_cache_hits = 0;
+  /// Subset of total_cache_hits served from entries another search of the
+  /// shared cache replayed — 0 unless explorer_options.shared_cache is
+  /// set.  With it, the validator typically rides the walk's replays.
+  std::uint64_t total_cross_search_hits = 0;
 
   /// Instantiates the designed manager over @p arena: a single atomic
   /// CustomManager for single-phase applications, a GlobalManager

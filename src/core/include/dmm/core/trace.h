@@ -72,6 +72,12 @@ class AllocTrace {
   /// Aggregate behaviour (single pass).
   [[nodiscard]] TraceStats stats() const;
 
+  /// FNV-1a over the full event stream (op, id, size, phase): the trace's
+  /// identity for cross-search score caching — two traces with the same
+  /// events share replays, traces that differ anywhere never collide.
+  /// O(events) per call; holders of an immutable trace cache the value.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
   /// Simple line format: "a <id> <size> <phase>" / "f <id> <phase>".
   void save(const std::string& path) const;
   [[nodiscard]] static AllocTrace load(const std::string& path);

@@ -36,19 +36,34 @@ MethodologyResult design_manager(const AllocTrace& trace,
   // phase's sub-trace contains the objects allocated in that phase,
   // including their (possibly later) frees.
   const std::vector<AllocTrace> sub_traces = split_by_phase(working);
+  const auto charge = [&result](const ExplorationResult& r) {
+    result.total_simulations += r.simulations;
+    result.total_cache_hits += r.cache_hits;
+    result.total_cross_search_hits += r.cross_search_hits;
+  };
   for (const AllocTrace& sub : sub_traces) {
     if (sub.empty()) {
       // Phase with no allocations: reuse defaults.
       result.phase_configs.push_back(options.explorer_options.defaults);
       result.phase_results.emplace_back();
+      if (options.validate) result.validation_results.emplace_back();
       continue;
     }
     Explorer explorer(sub, options.explorer_options);
     ExplorationResult r = explorer.explore(options.order);
-    result.total_simulations += r.simulations;
-    result.total_cache_hits += r.cache_hits;
+    charge(r);
     result.phase_configs.push_back(r.best);
     result.phase_results.push_back(std::move(r));
+    if (options.validate) {
+      // Ground-truth pass over the high-impact subspace.  Runs after the
+      // walk, so the walk's outcome is byte-for-byte what it would be
+      // without validation; with a shared cache the two searches reuse
+      // each other's replays (reported as cross-search hits).
+      ExplorationResult v = explorer.exhaustive(options.validation_trees,
+                                                options.validation_max_evals);
+      charge(v);
+      result.validation_results.push_back(std::move(v));
+    }
   }
   return result;
 }

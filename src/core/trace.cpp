@@ -58,6 +58,23 @@ bool AllocTrace::validate(std::string* why) const {
   return true;
 }
 
+std::uint64_t AllocTrace::fingerprint() const {
+  // FNV-1a, mixed field-by-field so padding never leaks into the identity.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(events_.size()));
+  for (const AllocEvent& e : events_) {
+    mix(static_cast<std::uint64_t>(e.op));
+    mix(e.id);
+    mix(e.size);
+    mix(e.phase);
+  }
+  return h;
+}
+
 TraceStats AllocTrace::stats() const {
   TraceStats s;
   std::unordered_map<std::uint32_t, std::pair<std::uint32_t, std::uint64_t>>

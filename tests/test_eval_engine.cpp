@@ -35,9 +35,12 @@ void expect_identical(const ExplorationResult& a, const ExplorationResult& b,
   EXPECT_EQ(a.best_sim.final_footprint, b.best_sim.final_footprint) << what;
   EXPECT_EQ(a.best_sim.avg_footprint, b.best_sim.avg_footprint) << what;
   EXPECT_EQ(a.best_sim.failed_allocs, b.best_sim.failed_allocs) << what;
+  EXPECT_EQ(a.feasible, b.feasible) << what;
   EXPECT_EQ(a.work_steps, b.work_steps) << what;
   EXPECT_EQ(a.simulations, b.simulations) << what;
   EXPECT_EQ(a.cache_hits, b.cache_hits) << what;
+  EXPECT_EQ(a.cross_search_hits, b.cross_search_hits) << what;
+  EXPECT_EQ(a.canonical_skips, b.canonical_skips) << what;
   ASSERT_EQ(a.steps.size(), b.steps.size()) << what;
   for (std::size_t i = 0; i < a.steps.size(); ++i) {
     EXPECT_EQ(a.steps[i].tree, b.steps[i].tree) << what << " step " << i;
@@ -108,6 +111,42 @@ TEST(DmmConfigCanonical, DeadKnobsCollapse) {
   DmmConfig e = c;
   e.chunk_bytes *= 4;
   EXPECT_NE(alloc::canonical(c), alloc::canonical(e));
+}
+
+TEST(DmmConfigCanonical, EffectiveMechanismPairsCollapse) {
+  // The manager gates each mechanism on A5 *and* its schedule, so a
+  // granted-but-never-scheduled mechanism and a scheduled-but-absent one
+  // both build the manager with the mechanism off.
+  DmmConfig off = alloc::minimal_config();  // kNone / never / never
+  DmmConfig granted_idle = off;
+  granted_idle.flexible = alloc::FlexibleBlockSize::kSplitOnly;
+  DmmConfig scheduled_absent = off;
+  scheduled_absent.split_when = alloc::SplitWhen::kAlways;
+  EXPECT_EQ(alloc::canonical(off), alloc::canonical(granted_idle));
+  EXPECT_EQ(alloc::canonical(off), alloc::canonical(scheduled_absent));
+  // An actually-running mechanism must NOT collapse to off.
+  DmmConfig running = off;
+  running.flexible = alloc::FlexibleBlockSize::kSplitOnly;
+  running.split_when = alloc::SplitWhen::kAlways;
+  EXPECT_NE(alloc::canonical(off), alloc::canonical(running));
+}
+
+TEST(DmmConfigCanonical, SortedStructuresAbsorbFreeListOrder) {
+  // FreeIndex overrides C2 for self-ordering DDTs; the leaf is dead there.
+  DmmConfig sorted = alloc::drr_paper_config();
+  sorted.block_structure = alloc::BlockStructure::kSizeBinaryTree;
+  sorted.fit = alloc::FitAlgorithm::kBestFit;
+  DmmConfig lifo = sorted;
+  lifo.order = alloc::FreeListOrder::kLIFO;
+  DmmConfig fifo = sorted;
+  fifo.order = alloc::FreeListOrder::kFIFO;
+  EXPECT_EQ(alloc::canonical(lifo), alloc::canonical(fifo));
+  // On a plain list the discipline is live.
+  DmmConfig list_lifo = alloc::drr_paper_config();
+  list_lifo.order = alloc::FreeListOrder::kLIFO;
+  DmmConfig list_fifo = alloc::drr_paper_config();
+  list_fifo.order = alloc::FreeListOrder::kFIFO;
+  EXPECT_NE(alloc::canonical(list_lifo), alloc::canonical(list_fifo));
 }
 
 // ---------------------------------------------------------------------------

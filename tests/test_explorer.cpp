@@ -49,6 +49,7 @@ TEST_F(ExplorerTest, OrderedTraversalDecidesEveryTree) {
   EXPECT_TRUE(alloc::is_valid(r.best))
       << "the traversal must land on a coherent vector: "
       << alloc::signature(r.best);
+  EXPECT_TRUE(r.feasible) << "this trace is servable, so best must be too";
   EXPECT_GT(r.simulations, 15u);
 }
 
