@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -28,23 +29,37 @@ struct SearchRow {
   const dmm::core::ExplorationResult* result;
 };
 
+/// Escapes the two characters that would break a JSON string literal —
+/// the cache-file path is user input.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
 void print_row(const SearchRow& row) {
-  std::printf("%-34s %14zu %8llu %6llu %6llu\n", row.name,
+  std::printf("%-34s %14zu %8llu %6llu %6llu %6llu\n", row.name,
               row.result->best_sim.peak_footprint,
               static_cast<unsigned long long>(row.result->simulations),
               static_cast<unsigned long long>(row.result->cache_hits),
-              static_cast<unsigned long long>(row.result->cross_search_hits));
+              static_cast<unsigned long long>(row.result->cross_search_hits),
+              static_cast<unsigned long long>(row.result->persisted_hits));
 }
 
 void json_row(std::FILE* json, bool first, const SearchRow& row) {
   std::fprintf(json,
                "%s\n        {\"search\": \"%s\", \"peak\": %zu, "
                "\"replays\": %llu, \"cache_hits\": %llu, "
-               "\"cross_search_hits\": %llu}",
+               "\"cross_search_hits\": %llu, \"persisted_hits\": %llu}",
                first ? "" : ",", row.name, row.result->best_sim.peak_footprint,
                static_cast<unsigned long long>(row.result->simulations),
                static_cast<unsigned long long>(row.result->cache_hits),
-               static_cast<unsigned long long>(row.result->cross_search_hits));
+               static_cast<unsigned long long>(row.result->cross_search_hits),
+               static_cast<unsigned long long>(row.result->persisted_hits));
 }
 
 }  // namespace
@@ -53,17 +68,24 @@ int main(int argc, char** argv) {
   using namespace dmm;
   using core::TreeId;
 
-  const std::size_t max_events = bench::event_cap_arg(argc, argv);
+  const bench::BenchArgs args =
+      bench::parse_bench_args(argc, argv, "BENCH_cache.json");
+  const std::size_t max_events = args.max_events;
 
   std::printf("Exploration strategy ablation (shared score cache)\n");
+  if (!args.cache_file.empty()) {
+    std::printf("persistent score cache: %s\n", args.cache_file.c_str());
+  }
   bench::print_rule('=');
 
-  std::FILE* json = std::fopen("BENCH_cache.json", "w");
+  std::FILE* json = std::fopen(args.out.c_str(), "w");
   if (json == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_cache.json\n");
+    std::fprintf(stderr, "cannot open %s\n", args.out.c_str());
     return 1;
   }
   std::fprintf(json, "{\n  \"bench\": \"exploration_cache\",\n");
+  std::fprintf(json, "  \"cache_file\": \"%s\",\n",
+               json_escape(args.cache_file).c_str());
   std::fprintf(json, "  \"workloads\": [");
 
   bool first_workload = true;
@@ -76,14 +98,19 @@ int main(int argc, char** argv) {
     std::printf("\n== %s (%zu events, %zu distinct sizes) ==\n",
                 w.name.c_str(), trace->size(),
                 trace->stats().distinct_sizes);
-    std::printf("%-34s %14s %8s %6s %6s\n", "strategy", "peak (B)", "replays",
-                "cached", "cross");
+    std::printf("%-34s %14s %8s %6s %6s %6s\n", "strategy", "peak (B)",
+                "replays", "cached", "cross", "warm");
     bench::print_rule();
 
     // One cache serves every strategy on this trace: the later searches
     // ride the replays the earlier ones paid for (cross-search hits).
     core::ExplorerOptions opts;
     opts.shared_cache = std::make_shared<core::SharedScoreCache>();
+    // With --cache-file the explorer warm-starts from the snapshot and
+    // saves the cache back when it goes out of scope at the end of this
+    // workload — so one file accumulates every workload, and a second
+    // bench run replays nothing it has already scored.
+    opts.cache_file = args.cache_file;
     core::Explorer ex(trace, opts);
 
     const core::ExplorationResult greedy = ex.explore(core::paper_order());
@@ -115,10 +142,12 @@ int main(int argc, char** argv) {
                          static_cast<double>(evals);
     std::printf(
         "shared cache: %llu entries, %llu hits (%.1f%% of evaluations), "
-        "%llu cross-search\n",
+        "%llu cross-search, %llu persisted (from %llu snapshot entries)\n",
         static_cast<unsigned long long>(stats.entries),
         static_cast<unsigned long long>(stats.hits), hit_rate,
-        static_cast<unsigned long long>(stats.cross_search_hits));
+        static_cast<unsigned long long>(stats.cross_search_hits),
+        static_cast<unsigned long long>(stats.persisted_hits),
+        static_cast<unsigned long long>(stats.persisted_entries));
     std::printf("greedy-vs-exhaustive gap: %+.2f%%\n",
                 100.0 *
                     (static_cast<double>(greedy.best_sim.peak_footprint) -
@@ -171,12 +200,23 @@ int main(int argc, char** argv) {
     }
     std::fprintf(json, "\n      ],\n");
     std::fprintf(json,
+                 "      \"best_signature\": \"%s\",\n",
+                 alloc::signature(greedy.best).c_str());
+    std::fprintf(json,
                  "      \"cache\": {\"entries\": %llu, \"hits\": %llu, "
                  "\"hit_rate_pct\": %.2f, \"cross_search_hits\": %llu, "
+                 "\"persisted_hits\": %llu, \"persisted_entries\": %llu, "
+                 "\"warm_hit_rate_pct\": %.2f, "
                  "\"simulations_saved\": %llu},\n",
                  static_cast<unsigned long long>(stats.entries),
                  static_cast<unsigned long long>(stats.hits), hit_rate,
                  static_cast<unsigned long long>(stats.cross_search_hits),
+                 static_cast<unsigned long long>(stats.persisted_hits),
+                 static_cast<unsigned long long>(stats.persisted_entries),
+                 evals == 0 ? 0.0
+                            : 100.0 *
+                                  static_cast<double>(stats.persisted_hits) /
+                                  static_cast<double>(evals),
                  static_cast<unsigned long long>(stats.hits));
     std::fprintf(json,
                  "      \"canonical_prune\": {\"raw_replays\": %llu, "
@@ -192,6 +232,6 @@ int main(int argc, char** argv) {
   std::fprintf(json, "\n  ],\n  \"canonical_prune_kept_best\": %s\n}\n",
                all_prunes_kept_best ? "true" : "false");
   std::fclose(json);
-  std::printf("\nwrote BENCH_cache.json\n");
+  std::printf("\nwrote %s\n", args.out.c_str());
   return all_prunes_kept_best ? 0 : 1;
 }

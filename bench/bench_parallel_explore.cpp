@@ -42,10 +42,13 @@ int main(int argc, char** argv) {
   using namespace dmm;
   using core::TreeId;
 
-  // Optional argv[1]: cap on trace events (0 = full trace).  The full DRR
-  // trace replays for minutes per engine config; a cap of ~20000 keeps a
-  // smoke run under a minute without changing what is measured.
-  const std::size_t max_events = bench::event_cap_arg(argc, argv);
+  // Optional positional cap on trace events (0 = full trace; the full DRR
+  // trace replays for minutes per engine config, ~20000 keeps a smoke run
+  // under a minute without changing what is measured) and --out for where
+  // the JSON lands, so CI runs never clobber each other's snapshots.
+  const bench::BenchArgs args =
+      bench::parse_bench_args(argc, argv, "BENCH_parallel.json");
+  const std::size_t max_events = args.max_events;
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<unsigned> thread_counts = {1, 2, 4};
@@ -54,9 +57,9 @@ int main(int argc, char** argv) {
   std::printf("Parallel exploration scaling (%u hardware threads)\n", hw);
   bench::print_rule('=');
 
-  std::FILE* json = std::fopen("BENCH_parallel.json", "w");
+  std::FILE* json = std::fopen(args.out.c_str(), "w");
   if (json == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_parallel.json\n");
+    std::fprintf(stderr, "cannot open %s\n", args.out.c_str());
     return 1;
   }
   std::fprintf(json, "{\n  \"bench\": \"parallel_explore\",\n");
@@ -141,6 +144,6 @@ int main(int argc, char** argv) {
 
   std::printf("\nresults bit-identical across all thread counts: %s\n",
               all_identical ? "yes" : "NO — engine bug");
-  std::printf("wrote BENCH_parallel.json\n");
+  std::printf("wrote %s\n", args.out.c_str());
   return all_identical ? 0 : 1;
 }

@@ -26,6 +26,54 @@ inline std::size_t event_cap_arg(int argc, char** argv) {
              : 0;
 }
 
+/// Command line of the JSON-emitting benches: an optional positional
+/// event cap plus `--out PATH` (where the JSON lands — CI runs the same
+/// bench twice and must not clobber the first snapshot) and
+/// `--cache-file PATH` (persist the shared score cache across runs; the
+/// second run reports warm persisted hits).  `--flag=value` works too.
+struct BenchArgs {
+  std::size_t max_events = 0;
+  std::string out;         ///< empty = the bench's historical default name
+  std::string cache_file;  ///< empty = no cross-process persistence
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv,
+                                  const char* default_out) {
+  BenchArgs args;
+  args.out = default_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // Exact flag or "flag=value" only — a prefix match would let a typo
+    // like --outfile silently swallow the next token.
+    const auto matches = [&](const std::string& flag) {
+      return arg == flag || arg.rfind(flag + "=", 0) == 0;
+    };
+    const auto value = [&](const std::string& flag) -> std::string {
+      if (arg.size() > flag.size()) return arg.substr(flag.size() + 1);
+      if (++i >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag.c_str());
+        std::exit(2);
+      }
+      return argv[i];
+    };
+    if (matches("--out")) {
+      args.out = value("--out");
+    } else if (matches("--cache-file")) {
+      args.cache_file = value("--cache-file");
+    } else if (!arg.empty() && arg.find_first_not_of("0123456789") ==
+                                   std::string::npos) {
+      args.max_events = static_cast<std::size_t>(
+          std::strtoull(arg.c_str(), nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [max_events] [--out PATH] [--cache-file PATH]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
 /// Truncates @p trace to at most @p max_events events (0 = no cap),
 /// closing the leaks the cut introduces so the trace stays replayable.
 inline void cap_events(core::AllocTrace& trace, std::size_t max_events) {

@@ -4,9 +4,17 @@
 // compare the resulting custom manager against Lea and Kingsley.
 //
 // Build & run:  ./build/examples/drr_explore
+//
+// Optional: --cache-file PATH persists the score cache across runs — a
+// second invocation replays nothing the first already scored (the walk is
+// served entirely from warm persisted hits) and reaches the identical
+// decision vector.  A corrupt or stale-format snapshot is ignored (cold
+// start), never an error.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "dmm/core/explorer.h"
 #include "dmm/core/methodology.h"
@@ -15,8 +23,20 @@
 #include "dmm/workloads/traffic.h"
 #include "dmm/workloads/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmm;
+
+  std::string cache_file;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache-file") == 0 && i + 1 < argc) {
+      cache_file = argv[++i];
+    } else if (std::strncmp(argv[i], "--cache-file=", 13) == 0) {
+      cache_file = argv[i] + 13;
+    } else {
+      std::fprintf(stderr, "usage: %s [--cache-file PATH]\n", argv[0]);
+      return 2;
+    }
+  }
 
   std::printf("== DRR case study: profile ==\n");
   const workloads::Workload& drr = workloads::case_study("drr");
@@ -39,6 +59,10 @@ int main() {
   core::ExplorerOptions opts;
   opts.num_threads = 0;
   opts.shared_cache = std::make_shared<core::SharedScoreCache>();
+  // --cache-file: the explorer warm-starts from the snapshot and writes
+  // the cache back when it is destroyed; a second run of this example
+  // then replays nothing at all.
+  opts.cache_file = cache_file;
   core::Explorer explorer(trace, opts);
   const core::ExplorationResult result = explorer.explore();
   for (const core::StepLog& step : result.steps) {
@@ -57,9 +81,11 @@ int main() {
     }
   }
   std::printf("\nsearch cost: %llu trace replays (%llu more served by the "
-              "score cache) on the %s engine\n",
+              "score cache, %llu of those warm from %s) on the %s engine\n",
               static_cast<unsigned long long>(result.simulations),
               static_cast<unsigned long long>(result.cache_hits),
+              static_cast<unsigned long long>(result.persisted_hits),
+              cache_file.empty() ? "(no cache file)" : cache_file.c_str(),
               explorer.engine().name().c_str());
   std::printf("\nfinal decision vector:\n%s\n",
               alloc::describe(result.best).c_str());
@@ -67,12 +93,18 @@ int main() {
   std::printf("== comparison on 5 fresh traces (Table 1 style) ==\n");
   core::MethodologyOptions design_opts;
   design_opts.explorer_options = opts;  // same engine, same shared cache
+  // Persistence belongs to the run, not to each phase: hand the snapshot
+  // path to design_manager (one load up front, one save at the end) and
+  // keep the per-phase explorers persistence-unaware.
+  design_opts.explorer_options.cache_file.clear();
+  design_opts.cache_file = cache_file;
   const core::MethodologyResult design = core::design_manager(trace, design_opts);
   std::printf("(design reused %llu of %llu evaluations from the walk above "
-              "via the shared cache)\n",
+              "via the shared cache, %llu from a previous process)\n",
               static_cast<unsigned long long>(design.total_cross_search_hits),
               static_cast<unsigned long long>(design.total_simulations +
-                                              design.total_cache_hits));
+                                              design.total_cache_hits),
+              static_cast<unsigned long long>(design.total_persisted_hits));
   for (const char* name : {"kingsley", "lea", "custom"}) {
     double sum = 0.0;
     for (unsigned seed = 1; seed <= 5; ++seed) {

@@ -6,10 +6,14 @@
 //     behaviour, and use it like malloc/free.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Optional: --cache-file PATH persists the design run's score cache, so
+// re-running the quickstart replays nothing it already scored.
 
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dmm/alloc/custom_manager.h"
@@ -17,8 +21,20 @@
 #include "dmm/core/profiler.h"
 #include "dmm/managers/registry.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmm;
+
+  std::string cache_file;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache-file") == 0 && i + 1 < argc) {
+      cache_file = argv[++i];
+    } else if (std::strncmp(argv[i], "--cache-file=", 13) == 0) {
+      cache_file = argv[i] + 13;
+    } else {
+      std::fprintf(stderr, "usage: %s [--cache-file PATH]\n", argv[0]);
+      return 2;
+    }
+  }
 
   // --- 1. profile a toy application -------------------------------------
   // (yours would be a real workload; see drr_explore / recon_explore /
@@ -69,13 +85,18 @@ int main() {
   options.validate = true;
   options.validation_trees = {core::TreeId::kA2, core::TreeId::kA5,
                               core::TreeId::kE2};
+  // --cache-file: scores persist across processes — the whole design run
+  // is served from warm persisted hits the second time around.
+  options.cache_file = cache_file;
   const core::MethodologyResult design = core::design_manager(trace, options);
   std::printf("\ndesigned atomic manager (%llu trace replays, %llu cache "
-              "hits, %llu reused across searches):\n%s\n",
+              "hits, %llu reused across searches, %llu warm from a "
+              "previous run):\n%s\n",
               static_cast<unsigned long long>(design.total_simulations),
               static_cast<unsigned long long>(design.total_cache_hits),
               static_cast<unsigned long long>(
                   design.total_cross_search_hits),
+              static_cast<unsigned long long>(design.total_persisted_hits),
               alloc::describe(design.phase_configs[0]).c_str());
   std::printf("validation: exhaustive over A2/A5/E2 agrees with the walk "
               "within %+.2f%% (feasible: %s)\n",

@@ -60,7 +60,12 @@ bool SharedScoreCache::Session::lookup_canonical(const alloc::DmmConfig& canon,
   if (it == shard.map.end()) return false;
   *out = it->second.entry;
   owner_->hits_.fetch_add(1, std::memory_order_relaxed);
-  if (it->second.search_id != search_id_) {
+  if (it->second.search_id == kPersistedSearchId) {
+    // Replayed by a previous process (snapshot entry) — warm-start hit,
+    // accounted apart from in-process cross-search reuse.
+    ++persisted_hits_;
+    owner_->persisted_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else if (it->second.search_id != search_id_) {
     ++cross_search_hits_;
     owner_->cross_search_hits_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -94,7 +99,9 @@ SharedScoreCache::Stats SharedScoreCache::stats() const {
   s.searches = next_search_id_.load(std::memory_order_relaxed) - 1;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.cross_search_hits = cross_search_hits_.load(std::memory_order_relaxed);
+  s.persisted_hits = persisted_hits_.load(std::memory_order_relaxed);
   s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.persisted_entries = persisted_entries_.load(std::memory_order_relaxed);
   s.entries = size();
   return s;
 }

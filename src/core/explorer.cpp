@@ -60,6 +60,10 @@ struct Explorer::SearchCache {
   [[nodiscard]] std::uint64_t cross_search_hits() const {
     return session ? session->cross_search_hits() : 0;
   }
+
+  [[nodiscard]] std::uint64_t persisted_hits() const {
+    return session ? session->persisted_hits() : 0;
+  }
 };
 
 Explorer::Explorer(AllocTrace trace, ExplorerOptions opts)
@@ -70,7 +74,25 @@ Explorer::Explorer(std::shared_ptr<const AllocTrace> trace,
     : trace_(std::move(trace)),
       trace_fingerprint_(trace_->fingerprint()),
       opts_(opts),
-      engine_(make_engine(opts.num_threads)) {}
+      engine_(make_engine(opts.num_threads)) {
+  // Warm-start from a snapshot: scores persist under the shared cache, so
+  // configuring a cache_file without one injects a private cache.  Loading
+  // is idempotent (existing keys win) and rejection leaves the cache cold —
+  // a snapshot can only ever remove replays, never change results.
+  if (opts_.cache && !opts_.cache_file.empty()) {
+    if (opts_.shared_cache == nullptr) {
+      opts_.shared_cache = std::make_shared<SharedScoreCache>();
+    }
+    (void)opts_.shared_cache->load(opts_.cache_file);
+  }
+}
+
+Explorer::~Explorer() {
+  if (opts_.cache && !opts_.cache_file.empty() &&
+      opts_.shared_cache != nullptr) {
+    (void)opts_.shared_cache->save(opts_.cache_file);
+  }
+}
 
 SimResult Explorer::score(const DmmConfig& cfg,
                           std::uint64_t* work_steps) const {
@@ -217,6 +239,7 @@ ExplorationResult Explorer::explore(const std::vector<TreeId>& order) {
   result.work_steps = final_out[0].work_steps;
   result.feasible = result.best_sim.failed_allocs == 0;
   result.cross_search_hits = cache.cross_search_hits();
+  result.persisted_hits = cache.persisted_hits();
   return result;
 }
 
@@ -283,6 +306,7 @@ ExplorationResult Explorer::exhaustive(const std::vector<TreeId>& trees,
   }
   result.feasible = best.feasible();
   result.cross_search_hits = cache.cross_search_hits();
+  result.persisted_hits = cache.persisted_hits();
   return result;
 }
 
@@ -329,6 +353,7 @@ ExplorationResult Explorer::random_search(std::size_t samples,
   }
   result.feasible = best.feasible();
   result.cross_search_hits = cache.cross_search_hits();
+  result.persisted_hits = cache.persisted_hits();
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dmm/alloc/config.h"
+#include "dmm/core/cache_snapshot.h"
 #include "dmm/core/simulator.h"
 #include "dmm/core/trace.h"
 
@@ -96,11 +97,24 @@ class ScoreCache final : public CandidateCache {
 /// counts and ExplorationResult/MethodologyResult report.  Replays are
 /// deterministic, so concurrent duplicate inserts are benign: the first
 /// write wins and later ones carry identical values.
+///
+/// The cache also persists across processes: save() snapshots every entry
+/// to a versioned binary file (see cache_snapshot.h) and load() imports
+/// one, marking imported entries as *persisted* (search id 0).  Hits on
+/// persisted entries are accounted separately from cross-search hits —
+/// they were paid for by a previous process, not a sibling search — and
+/// surface as ExplorationResult::persisted_hits.  A snapshot that is
+/// truncated, corrupted, or of another format version is rejected whole
+/// and the cache simply starts cold.
 class SharedScoreCache {
  public:
   using Entry = CandidateCache::Entry;
 
   static constexpr std::size_t kDefaultShards = 16;
+
+  /// Stored search id marking entries imported from a snapshot (real
+  /// sessions are numbered from 1).
+  static constexpr std::uint64_t kPersistedSearchId = 0;
 
   explicit SharedScoreCache(std::size_t shard_count = kDefaultShards);
 
@@ -109,7 +123,9 @@ class SharedScoreCache {
     std::uint64_t searches = 0;           ///< sessions opened
     std::uint64_t hits = 0;               ///< lookups served from the map
     std::uint64_t cross_search_hits = 0;  ///< ... paid for by another search
-    std::uint64_t insertions = 0;         ///< entries actually added
+    std::uint64_t persisted_hits = 0;     ///< ... served from snapshot entries
+    std::uint64_t insertions = 0;         ///< entries added by searches
+    std::uint64_t persisted_entries = 0;  ///< entries imported by load()
     std::uint64_t entries = 0;            ///< live entries (== size())
   };
 
@@ -124,9 +140,16 @@ class SharedScoreCache {
     void insert_canonical(const alloc::DmmConfig& canon,
                           const Entry& entry) override;
 
-    /// Hits served from entries another search replayed.
+    /// Hits served from entries another search of this process replayed
+    /// (disjoint from persisted_hits()).
     [[nodiscard]] std::uint64_t cross_search_hits() const {
       return cross_search_hits_;
+    }
+
+    /// Hits served from entries a snapshot imported — replays a previous
+    /// process paid for.
+    [[nodiscard]] std::uint64_t persisted_hits() const {
+      return persisted_hits_;
     }
 
    private:
@@ -141,11 +164,24 @@ class SharedScoreCache {
     std::uint64_t trace_fingerprint_ = 0;
     std::uint64_t search_id_ = 0;
     std::uint64_t cross_search_hits_ = 0;
+    std::uint64_t persisted_hits_ = 0;
   };
 
   /// Opens a session for one search over the trace with @p trace_fingerprint
   /// (see AllocTrace::fingerprint).
   [[nodiscard]] Session begin_search(std::uint64_t trace_fingerprint);
+
+  /// Imports the snapshot at @p path (implemented in cache_snapshot.cpp).
+  /// All-or-nothing: a missing, truncated, corrupted, or version-mismatched
+  /// file leaves the cache exactly as it was and reports why — callers can
+  /// always proceed cold.  Entries whose key is already cached are skipped,
+  /// so re-loading a file (or loading after searches ran) is safe.
+  SnapshotLoadResult load(const std::string& path);
+
+  /// Writes every entry to @p path via a uniquely-named temp file and an
+  /// atomic rename — concurrent savers last-writer-win, readers never see
+  /// a torn file.  Thread-safe (reads shard by shard under the locks).
+  SnapshotSaveResult save(const std::string& path) const;
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] Stats stats() const;
@@ -181,7 +217,9 @@ class SharedScoreCache {
   std::atomic<std::uint64_t> next_search_id_{1};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> cross_search_hits_{0};
+  std::atomic<std::uint64_t> persisted_hits_{0};
   std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> persisted_entries_{0};
 };
 
 /// Replays @p trace through a manager built from @p job.cfg — one isolated

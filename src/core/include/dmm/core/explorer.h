@@ -48,6 +48,15 @@ struct ExplorerOptions {
   /// Search outcomes (best, step logs) are bit-identical either way; only
   /// the simulations/cache_hits split shifts as more replays are reused.
   std::shared_ptr<SharedScoreCache> shared_cache;
+  /// Persist the shared score cache across processes.  When non-empty
+  /// (and `cache` is on), the Explorer loads this snapshot at
+  /// construction — creating `shared_cache` first if none was injected —
+  /// and saves the cache back at destruction (write-temp-then-rename, so
+  /// concurrent sessions last-writer-win).  A missing, truncated,
+  /// corrupted, or version-mismatched snapshot is rejected whole and the
+  /// cache starts cold; hits served from imported entries are reported as
+  /// ExplorationResult::persisted_hits.
+  std::string cache_file;
   /// exhaustive(): enumerate the canonical quotient space — skip any
   /// odometer vector whose repaired canonical form was already enumerated
   /// this run, so the cartesian product collapses to behaviourally
@@ -87,6 +96,10 @@ struct ExplorationResult {
   /// Subset of cache_hits paid for by a *different* search on the shared
   /// cache (always 0 with the per-search cache).
   std::uint64_t cross_search_hits = 0;
+  /// Subset of cache_hits served from snapshot entries a previous process
+  /// replayed (ExplorerOptions::cache_file / SharedScoreCache::load);
+  /// disjoint from cross_search_hits.
+  std::uint64_t persisted_hits = 0;
   /// exhaustive(): vectors skipped as canonical duplicates of an already
   /// enumerated one (each would have been a replay or a budgeted hit).
   std::uint64_t canonical_skips = 0;
@@ -126,6 +139,9 @@ class Explorer {
   /// Shares an already-recorded trace with other explorers / threads.
   explicit Explorer(std::shared_ptr<const AllocTrace> trace,
                     ExplorerOptions opts = {});
+  /// Saves the shared score cache back to ExplorerOptions::cache_file
+  /// (when one was configured) — see the option's doc for the semantics.
+  ~Explorer();
 
   /// Greedy ordered traversal: decide trees in @p order, scoring each
   /// admissible leaf by replaying the trace on the repaired completion.

@@ -33,6 +33,15 @@ struct MethodologyOptions {
                                           TreeId::kB4, TreeId::kC1};
   /// Evaluation budget of each per-phase validation pass.
   std::size_t validation_max_evals = 100000;
+  /// Persist the run's shared score cache across processes.  When
+  /// non-empty (and explorer_options.cache is on), design_manager() loads
+  /// this snapshot before the first phase — creating
+  /// explorer_options.shared_cache first if none was injected, so one
+  /// cache still serves every walk and validation pass — and saves it
+  /// back atomically after the last.  A rejected snapshot (truncated,
+  /// corrupted, version mismatch) just means a cold start; warm hits are
+  /// reported as MethodologyResult::total_persisted_hits.
+  std::string cache_file;
 };
 
 /// Everything the methodology produces for one application.
@@ -53,6 +62,10 @@ struct MethodologyResult {
   /// shared cache replayed — 0 unless explorer_options.shared_cache is
   /// set.  With it, the validator typically rides the walk's replays.
   std::uint64_t total_cross_search_hits = 0;
+  /// Subset of total_cache_hits served from snapshot entries a previous
+  /// process replayed (MethodologyOptions::cache_file); disjoint from
+  /// total_cross_search_hits.
+  std::uint64_t total_persisted_hits = 0;
 
   /// Instantiates the designed manager over @p arena: a single atomic
   /// CustomManager for single-phase applications, a GlobalManager

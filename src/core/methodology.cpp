@@ -36,10 +36,27 @@ MethodologyResult design_manager(const AllocTrace& trace,
   // phase's sub-trace contains the objects allocated in that phase,
   // including their (possibly later) frees.
   const std::vector<AllocTrace> sub_traces = split_by_phase(working);
+  // Cache persistence for the whole run: load the snapshot once up front
+  // (not per phase — each phase has its own trace fingerprint, but they
+  // all live in the one file) and save once after the last search, so a
+  // repeated design run replays nothing it has already scored.  The
+  // per-phase Explorers see a plain shared cache and stay persistence-
+  // unaware here; ExplorerOptions::cache_file remains the single-search
+  // variant of the same knob.
+  ExplorerOptions explorer_options = options.explorer_options;
+  std::shared_ptr<SharedScoreCache> persisted;
+  if (!options.cache_file.empty() && explorer_options.cache) {
+    if (explorer_options.shared_cache == nullptr) {
+      explorer_options.shared_cache = std::make_shared<SharedScoreCache>();
+    }
+    persisted = explorer_options.shared_cache;
+    (void)persisted->load(options.cache_file);
+  }
   const auto charge = [&result](const ExplorationResult& r) {
     result.total_simulations += r.simulations;
     result.total_cache_hits += r.cache_hits;
     result.total_cross_search_hits += r.cross_search_hits;
+    result.total_persisted_hits += r.persisted_hits;
   };
   for (const AllocTrace& sub : sub_traces) {
     if (sub.empty()) {
@@ -49,7 +66,7 @@ MethodologyResult design_manager(const AllocTrace& trace,
       if (options.validate) result.validation_results.emplace_back();
       continue;
     }
-    Explorer explorer(sub, options.explorer_options);
+    Explorer explorer(sub, explorer_options);
     ExplorationResult r = explorer.explore(options.order);
     charge(r);
     result.phase_configs.push_back(r.best);
@@ -65,6 +82,7 @@ MethodologyResult design_manager(const AllocTrace& trace,
       result.validation_results.push_back(std::move(v));
     }
   }
+  if (persisted != nullptr) (void)persisted->save(options.cache_file);
   return result;
 }
 
