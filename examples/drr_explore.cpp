@@ -10,6 +10,10 @@
 // served entirely from warm persisted hits) and reaches the identical
 // decision vector.  A corrupt or stale-format snapshot is ignored (cold
 // start), never an error.
+//
+// Optional: --search greedy|beam:K|anneal|exhaustive|random picks the
+// search strategy for the walk and the design run (default: the paper's
+// greedy ordered traversal).
 
 #include <cstdio>
 #include <cstring>
@@ -22,18 +26,23 @@
 #include "dmm/workloads/drr.h"
 #include "dmm/workloads/traffic.h"
 #include "dmm/workloads/workload.h"
+#include "example_util.h"
 
 int main(int argc, char** argv) {
   using namespace dmm;
 
   std::string cache_file;
+  core::SearchSpec search;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cache-file") == 0 && i + 1 < argc) {
       cache_file = argv[++i];
     } else if (std::strncmp(argv[i], "--cache-file=", 13) == 0) {
       cache_file = argv[i] + 13;
+    } else if (examples::consume_search_flag(argc, argv, &i, &search)) {
+      // parsed into `search`
     } else {
-      std::fprintf(stderr, "usage: %s [--cache-file PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--cache-file PATH] [--search SPEC]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -63,8 +72,12 @@ int main(int argc, char** argv) {
   // the cache back when it is destroyed; a second run of this example
   // then replays nothing at all.
   opts.cache_file = cache_file;
+  // --search: any strategy plugs into the same walk (greedy default);
+  // ordered strategies narrate their decision steps below, streaming ones
+  // only have a winner to report.
+  opts.search = search;
   core::Explorer explorer(trace, opts);
-  const core::ExplorationResult result = explorer.explore();
+  const core::ExplorationResult result = explorer.run();
   for (const core::StepLog& step : result.steps) {
     std::printf("%s (%s):\n", core::tree_id(step.tree).c_str(),
                 core::tree_title(step.tree).c_str());
@@ -92,7 +105,7 @@ int main(int argc, char** argv) {
 
   std::printf("== comparison on 5 fresh traces (Table 1 style) ==\n");
   core::MethodologyOptions design_opts;
-  design_opts.explorer_options = opts;  // same engine, same shared cache
+  design_opts.explorer_options = opts;  // same engine/cache, same --search
   // Persistence belongs to the run, not to each phase: hand the snapshot
   // path to design_manager (one load up front, one save at the end) and
   // keep the per-phase explorers persistence-unaware.

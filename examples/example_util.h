@@ -1,0 +1,43 @@
+#ifndef DMM_EXAMPLES_EXAMPLE_UTIL_H
+#define DMM_EXAMPLES_EXAMPLE_UTIL_H
+
+// Shared argv helpers for the example CLIs (the bench twins live in
+// bench/bench_util.h).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "dmm/core/search.h"
+
+namespace dmm::examples {
+
+/// If argv[*i] is `--search SPEC` or `--search=SPEC`, parses it into
+/// @p spec (advancing *i past a separate value) and returns true.  An
+/// unparseable SPEC prints the accepted grammar to stderr and exits 2 —
+/// one grammar, one error message, for every example binary.
+inline bool consume_search_flag(int argc, char** argv, int* i,
+                                core::SearchSpec* spec) {
+  const char* text = nullptr;
+  if (std::strcmp(argv[*i], "--search") == 0 && *i + 1 < argc) {
+    text = argv[++*i];
+  } else if (std::strncmp(argv[*i], "--search=", 9) == 0) {
+    text = argv[*i] + 9;
+  } else {
+    return false;
+  }
+  const auto parsed = core::parse_search_spec(text);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "unknown --search value '%s' (want greedy, beam:K, "
+                 "anneal[:SEED], exhaustive, or random[:N[:SEED]])\n",
+                 text);
+    std::exit(2);
+  }
+  *spec = *parsed;
+  return true;
+}
+
+}  // namespace dmm::examples
+
+#endif  // DMM_EXAMPLES_EXAMPLE_UTIL_H

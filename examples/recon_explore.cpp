@@ -3,7 +3,9 @@
 // region manager, and the methodology's custom design — plus a look at
 // what the application actually computed (recovered displacements).
 //
-// Build & run:  ./build/examples/recon_explore
+// Build & run:  ./build/examples/recon_explore [--search SPEC]
+// --search greedy|beam:K|anneal|exhaustive|random picks the per-phase
+// design strategy (default: the paper's greedy ordered traversal).
 
 #include <cstdio>
 
@@ -11,9 +13,18 @@
 #include "dmm/managers/registry.h"
 #include "dmm/workloads/recon3d.h"
 #include "dmm/workloads/workload.h"
+#include "example_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmm;
+
+  core::SearchSpec search;
+  for (int i = 1; i < argc; ++i) {
+    if (!examples::consume_search_flag(argc, argv, &i, &search)) {
+      std::fprintf(stderr, "usage: %s [--search SPEC]\n", argv[0]);
+      return 2;
+    }
+  }
 
   std::printf("== 3D reconstruction case study ==\n");
 
@@ -49,7 +60,9 @@ int main() {
                                      : "");
   }
 
-  const core::MethodologyResult design = core::design_manager(trace);
+  core::MethodologyOptions design_opts;
+  design_opts.explorer_options.search = search;
+  const core::MethodologyResult design = core::design_manager(trace, design_opts);
   std::printf("\ndesigned vector: %s\n",
               alloc::signature(design.phase_configs[0]).c_str());
 

@@ -3,7 +3,9 @@
 // composed into a global manager (paper Sec. 3.3) — compared against
 // Lea, Kingsley and the stack-optimised Obstacks.
 //
-// Build & run:  ./build/examples/render_explore
+// Build & run:  ./build/examples/render_explore [--search SPEC]
+// --search greedy|beam:K|anneal|exhaustive|random picks the per-phase
+// design strategy (default: the paper's greedy ordered traversal).
 
 #include <cstdio>
 
@@ -11,9 +13,18 @@
 #include "dmm/managers/registry.h"
 #include "dmm/workloads/render3d.h"
 #include "dmm/workloads/workload.h"
+#include "example_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmm;
+
+  core::SearchSpec search;
+  for (int i = 1; i < argc; ++i) {
+    if (!examples::consume_search_flag(argc, argv, &i, &search)) {
+      std::fprintf(stderr, "usage: %s [--search SPEC]\n", argv[0]);
+      return 2;
+    }
+  }
 
   std::printf("== 3D scalable-mesh rendering case study ==\n");
   {
@@ -36,7 +47,9 @@ int main() {
               static_cast<unsigned long long>(trace.stats().events),
               trace.stats().phases);
 
-  const core::MethodologyResult design = core::design_manager(trace);
+  core::MethodologyOptions design_opts;
+  design_opts.explorer_options.search = search;
+  const core::MethodologyResult design = core::design_manager(trace, design_opts);
   std::printf("\none atomic manager per phase (Sec. 3.3 global manager):\n");
   for (std::size_t i = 0; i < design.phase_configs.size(); ++i) {
     std::printf("  phase %zu (%s): %s\n", i,

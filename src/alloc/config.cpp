@@ -270,6 +270,25 @@ DmmConfig canonical(const DmmConfig& cfg) {
                                          : FlexibleBlockSize::kNone;
   if (!can_split) c.split_when = SplitWhen::kNever;
   if (!can_coalesce) c.coalesce_when = CoalesceWhen::kNever;
+  // B3 (pool count) is consulted only when pools are divided by size
+  // class: the constructor pre-creates the kStaticMany roster and route()
+  // grows the kDynamic one, both only under kPoolPerSizeClass.  A
+  // single-pool manager creates pool 0 unconditionally and a per-exact-
+  // size manager makes pools on first sight of a size whatever B3 says —
+  // no branch of CustomManager/Pool reads pool_count under those
+  // divisions, so every B3 leaf builds the same manager doing the same
+  // work (routing_steps included).  Collapse to the representative the
+  // B1->B3 hard rules force anyway, so near-miss invalid aliases also
+  // unify.  B2 (pool structure) must NOT collapse even for a single
+  // pool: find_pool's linked-list scan charges one routing step per
+  // lookup where the array path charges none, and work_steps is both a
+  // tie-break and the time_weight objective term — see
+  // test_search_strategies.cpp (B2SinglePoolAliasesStayDistinct).
+  if (c.pool_division == PoolDivision::kSinglePool) {
+    c.pool_count = PoolCount::kOne;
+  } else if (c.pool_division == PoolDivision::kPoolPerExactSize) {
+    c.pool_count = PoolCount::kDynamic;
+  }
   // Self-ordering DDTs ignore the C2 discipline (FreeIndex overrides it).
   if (c.block_structure == BlockStructure::kSinglySortedBySize ||
       c.block_structure == BlockStructure::kDoublySortedBySize ||

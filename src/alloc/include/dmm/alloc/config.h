@@ -187,6 +187,10 @@ struct DmmConfig {
 ///   * split machinery off  -> split_sizes (E1) ignored
 ///   * coalesce machinery off -> coalesce_sizes (D1) ignored
 ///   * size-sorted DDTs (A1) impose their own discipline -> order (C2) dead
+///   * pool division != per-size-class -> pool_count (B3) never read; it
+///     collapses to the value the B1->B3 hard rules force (single pool ->
+///     one, per-exact-size -> dynamic).  B2 stays live even for a single
+///     pool: the linked-list lookup charges work the array lookup does not.
 ///
 /// Dead numeric knobs:
 ///

@@ -1,70 +1,10 @@
 #include "dmm/core/explorer.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <optional>
-#include <random>
-#include <unordered_set>
-
-#include "dmm/alloc/custom_manager.h"
+#include "dmm/core/search.h"
 
 namespace dmm::core {
 
 using alloc::DmmConfig;
-
-namespace {
-/// Batch size for the streaming modes (exhaustive / random search): large
-/// enough to keep a pool busy, small enough that the evaluation budget is
-/// respected closely.  Deliberately independent of the engine's thread
-/// count so the simulations/cache_hits accounting never varies with it.
-constexpr std::size_t kStreamBatch = 64;
-
-/// Unbiased draw in [0, n) by rejection.  `rng() % n` over-samples low
-/// leaves (2^32 is not a multiple of most leaf counts), and
-/// std::uniform_int_distribution's algorithm is implementation-defined —
-/// the same seed would sample different vectors on different standard
-/// libraries.  This is both unbiased and reproducible everywhere.
-int uniform_leaf(std::mt19937& rng, int n) {
-  const std::uint32_t bound = static_cast<std::uint32_t>(n);
-  const std::uint32_t residue = (0u - bound) % bound;  // 2^32 mod bound
-  for (;;) {
-    const std::uint32_t v = rng();
-    // Accept below the largest multiple of bound (2^32 - residue).
-    if (residue == 0 || v < 0u - residue) {
-      return static_cast<int>(v % bound);
-    }
-  }
-}
-}  // namespace
-
-/// The cache one search call evaluates against: the injected shared
-/// cache's session when configured, a search-local ScoreCache otherwise,
-/// nothing when caching is off.  Built on the stack of each search mode;
-/// harvest cross-search hits from it before returning.
-struct Explorer::SearchCache {
-  ScoreCache local;
-  std::optional<SharedScoreCache::Session> session;
-  CandidateCache* ptr = nullptr;
-
-  SearchCache(const ExplorerOptions& opts, std::uint64_t trace_fingerprint) {
-    if (!opts.cache) return;
-    if (opts.shared_cache != nullptr) {
-      session.emplace(opts.shared_cache->begin_search(trace_fingerprint));
-      ptr = &*session;
-    } else {
-      ptr = &local;
-    }
-  }
-
-  [[nodiscard]] std::uint64_t cross_search_hits() const {
-    return session ? session->cross_search_hits() : 0;
-  }
-
-  [[nodiscard]] std::uint64_t persisted_hits() const {
-    return session ? session->persisted_hits() : 0;
-  }
-};
 
 Explorer::Explorer(AllocTrace trace, ExplorerOptions opts)
     : Explorer(std::make_shared<const AllocTrace>(std::move(trace)), opts) {}
@@ -87,274 +27,64 @@ Explorer::Explorer(std::shared_ptr<const AllocTrace> trace,
   }
 }
 
-Explorer::~Explorer() {
+Explorer::~Explorer() { save_cache_file(); }
+
+void Explorer::save_cache_file() const {
   if (opts_.cache && !opts_.cache_file.empty() &&
       opts_.shared_cache != nullptr) {
     (void)opts_.shared_cache->save(opts_.cache_file);
   }
 }
 
+ExplorationResult Explorer::run(SearchStrategy& strategy) {
+  SearchContext ctx(*trace_, trace_fingerprint_, opts_, *engine_);
+  try {
+    strategy.run(ctx);
+  } catch (...) {
+    // A strategy that dies mid-run must not discard the replays the
+    // shared cache already absorbed: the destructor's save cannot be
+    // relied on here (an exception escaping main() skips unwinding
+    // entirely), so persist before rethrowing.
+    save_cache_file();
+    throw;
+  }
+  return ctx.finish();
+}
+
+ExplorationResult Explorer::run() {
+  const std::unique_ptr<SearchStrategy> strategy = make_strategy(opts_.search);
+  return run(*strategy);
+}
+
+ExplorationResult Explorer::explore(const std::vector<TreeId>& order) {
+  GreedySearch strategy(order);
+  return run(strategy);
+}
+
+ExplorationResult Explorer::exhaustive(const std::vector<TreeId>& trees,
+                                       std::size_t max_evals) {
+  ExhaustiveSearch strategy(trees, max_evals);
+  return run(strategy);
+}
+
+ExplorationResult Explorer::random_search(std::size_t samples, unsigned seed) {
+  RandomSearch strategy(samples, seed);
+  return run(strategy);
+}
+
 SimResult Explorer::score(const DmmConfig& cfg,
                           std::uint64_t* work_steps) const {
-  // Same evaluate() caching protocol as the search modes — lookup,
+  // Same evaluate() caching protocol as the search strategies — lookup,
   // replay on miss, insert — so a shared cache both serves and learns
   // one-off scores.  The batch runs on a stack-local serial engine, not
   // the pooled engine_: the pool's per-batch state is not reentrant,
   // and score() must stay safe to call from any thread (the shared
   // cache and score_candidate both are).
-  SearchCache cache(opts_, trace_fingerprint_);
   SerialEngine engine;
-  const std::vector<EvalOutcome> out =
-      engine.evaluate(*trace_, {{cfg, 0}}, cache.ptr);
+  SearchContext ctx(*trace_, trace_fingerprint_, opts_, engine);
+  const std::vector<EvalOutcome> out = ctx.evaluate({{cfg, 0}});
   if (work_steps != nullptr) *work_steps = out[0].work_steps;
   return out[0].sim;
-}
-
-double Explorer::objective(const ExplorerOptions& opts, const SimResult& sim,
-                           std::uint64_t work) {
-  if (sim.failed_allocs > 0) return std::numeric_limits<double>::infinity();
-  return static_cast<double>(sim.peak_footprint) +
-         opts.time_weight * static_cast<double>(work);
-}
-
-std::vector<EvalOutcome> Explorer::evaluate(const std::vector<EvalJob>& jobs,
-                                            CandidateCache* cache,
-                                            ExplorationResult& result) {
-  std::vector<EvalOutcome> outcomes = engine_->evaluate(*trace_, jobs, cache);
-  for (const EvalOutcome& out : outcomes) {
-    if (out.from_cache) {
-      ++result.cache_hits;
-    } else {
-      ++result.simulations;
-    }
-  }
-  return outcomes;
-}
-
-bool candidate_better(double obj_a, std::uint64_t failed_a, double avg_a,
-                      std::uint64_t work_a, double obj_b,
-                      std::uint64_t failed_b, double avg_b,
-                      std::uint64_t work_b) {
-  // Infinite objectives first: the 1%-band arithmetic below is only
-  // meaningful on finite peaks (inf - inf is NaN, and every comparison
-  // against NaN is false — which used to drop straight through to the
-  // avg-footprint tier and let an infeasible vector win ties).
-  const bool finite_a = std::isfinite(obj_a);
-  const bool finite_b = std::isfinite(obj_b);
-  if (finite_a != finite_b) return finite_a;
-  if (!finite_a) {
-    // Both infeasible: rank by distance to feasibility so the reported
-    // least-bad vector is deterministic and meaningful.
-    if (failed_a != failed_b) return failed_a < failed_b;
-  } else {
-    const double tol = 0.01 * std::min(obj_a, obj_b);
-    if (std::abs(obj_a - obj_b) > tol) return obj_a < obj_b;
-  }
-  const double avg_tol = 0.01 * std::min(avg_a, avg_b);
-  if (std::abs(avg_a - avg_b) > avg_tol) return avg_a < avg_b;
-  return work_a < work_b;
-}
-
-/// Running "best so far" over a stream of outcomes, processed in job
-/// order — the selection is a strict left fold, which is what keeps the
-/// winner independent of how the engine scheduled the replays.
-struct Explorer::BestTracker {
-  double obj = std::numeric_limits<double>::infinity();
-  std::uint64_t failed = std::numeric_limits<std::uint64_t>::max();
-  double avg = std::numeric_limits<double>::infinity();
-  std::uint64_t work = std::numeric_limits<std::uint64_t>::max();
-  bool any = false;
-
-  /// True iff @p out displaces the incumbent.
-  bool offer(const ExplorerOptions& opts, const EvalOutcome& out) {
-    const double o = objective(opts, out.sim, out.work_steps);
-    if (any && !candidate_better(o, out.sim.failed_allocs,
-                                 out.sim.avg_footprint, out.work_steps, obj,
-                                 failed, avg, work)) {
-      return false;
-    }
-    obj = o;
-    failed = out.sim.failed_allocs;
-    avg = out.sim.avg_footprint;
-    work = out.work_steps;
-    any = true;
-    return true;
-  }
-
-  /// The incumbent replayed the trace without a failed allocation.
-  [[nodiscard]] bool feasible() const { return any && failed == 0; }
-};
-
-ExplorationResult Explorer::explore(const std::vector<TreeId>& order) {
-  ExplorationResult result;
-  SearchCache cache(opts_, trace_fingerprint_);
-  CandidateCache* cache_ptr = cache.ptr;
-  DmmConfig cfg = opts_.defaults;
-  DecidedMask decided{};
-  for (TreeId tree : order) {
-    StepLog step;
-    step.tree = tree;
-    std::vector<EvalJob> jobs;
-    for (int leaf = 0; leaf < leaf_count(tree); ++leaf) {
-      CandidateScore cand;
-      cand.leaf = leaf;
-      cand.admissible =
-          Constraints::admissible(cfg, decided, tree, leaf, opts_.prune_soft);
-      if (cand.admissible) {
-        DmmConfig probe = cfg;
-        set_leaf(probe, tree, leaf);
-        DecidedMask probe_decided = decided;
-        probe_decided[static_cast<std::size_t>(tree)] = true;
-        jobs.push_back({Constraints::repair(probe, probe_decided),
-                        static_cast<std::uint64_t>(leaf)});
-      }
-      step.candidates.push_back(cand);
-    }
-    const std::vector<EvalOutcome> outcomes =
-        evaluate(jobs, cache_ptr, result);
-    BestTracker best;
-    int best_leaf = -1;
-    for (const EvalOutcome& out : outcomes) {
-      CandidateScore& cand = step.candidates[out.tag];
-      cand.peak_footprint = out.sim.peak_footprint;
-      cand.avg_footprint = out.sim.avg_footprint;
-      cand.work_steps = out.work_steps;
-      cand.failed_allocs = out.sim.failed_allocs;
-      if (best.offer(opts_, out)) best_leaf = static_cast<int>(out.tag);
-    }
-    if (best_leaf < 0) {
-      // No admissible leaf: keep the default (cannot happen with a
-      // coherent rule set; guarded for robustness).
-      best_leaf = get_leaf(cfg, tree);
-    }
-    set_leaf(cfg, tree, best_leaf);
-    decided[static_cast<std::size_t>(tree)] = true;
-    step.chosen = best_leaf;
-    result.steps.push_back(std::move(step));
-  }
-  result.best = Constraints::repair(cfg, decided);
-  const std::vector<EvalOutcome> final_out =
-      evaluate({{result.best, 0}}, cache_ptr, result);
-  result.best_sim = final_out[0].sim;
-  result.work_steps = final_out[0].work_steps;
-  result.feasible = result.best_sim.failed_allocs == 0;
-  result.cross_search_hits = cache.cross_search_hits();
-  result.persisted_hits = cache.persisted_hits();
-  return result;
-}
-
-ExplorationResult Explorer::exhaustive(const std::vector<TreeId>& trees,
-                                       std::size_t max_evals) {
-  ExplorationResult result;
-  SearchCache cache(opts_, trace_fingerprint_);
-  BestTracker best;
-  DecidedMask decided{};
-  for (TreeId t : trees) decided[static_cast<std::size_t>(t)] = true;
-
-  // Canonical quotient of the cartesian product: a vector whose repaired
-  // canonical form was already enumerated builds a behaviourally identical
-  // manager, so it is skipped before a job is built and never charged to
-  // the evaluation budget.
-  std::unordered_set<DmmConfig, alloc::DmmConfigHash> canonical_seen;
-
-  std::vector<int> leaf(trees.size(), 0);
-  std::uint64_t evaluations = 0;
-  bool done = false;
-  while (!done && evaluations < max_evals) {
-    // Collect the next window of valid vectors, then score it as one batch.
-    std::vector<EvalJob> jobs;
-    while (!done && jobs.size() < kStreamBatch &&
-           evaluations + jobs.size() < max_evals) {
-      DmmConfig cfg = opts_.defaults;
-      for (std::size_t i = 0; i < trees.size(); ++i) {
-        set_leaf(cfg, trees[i], leaf[i]);
-      }
-      cfg = Constraints::repair(cfg, decided);
-      bool valid = true;
-      for (const alloc::RuleViolation& v : alloc::check_rules(cfg)) {
-        if (v.hard || opts_.prune_soft) {
-          valid = false;
-          break;
-        }
-      }
-      if (valid && opts_.canonical_prune &&
-          !canonical_seen.insert(alloc::canonical(cfg)).second) {
-        ++result.canonical_skips;
-        valid = false;
-      }
-      if (valid) jobs.push_back({cfg, jobs.size()});
-      // odometer increment
-      std::size_t pos = 0;
-      for (;;) {
-        if (pos == trees.size()) {
-          done = true;
-          break;
-        }
-        if (++leaf[pos] < leaf_count(trees[pos])) break;
-        leaf[pos] = 0;
-        ++pos;
-      }
-    }
-    evaluations += jobs.size();
-    for (const EvalOutcome& out : evaluate(jobs, cache.ptr, result)) {
-      if (best.offer(opts_, out)) {
-        result.best = jobs[out.tag].cfg;
-        result.best_sim = out.sim;
-        result.work_steps = out.work_steps;
-      }
-    }
-  }
-  result.feasible = best.feasible();
-  result.cross_search_hits = cache.cross_search_hits();
-  result.persisted_hits = cache.persisted_hits();
-  return result;
-}
-
-ExplorationResult Explorer::random_search(std::size_t samples,
-                                          unsigned seed) {
-  ExplorationResult result;
-  SearchCache cache(opts_, trace_fingerprint_);
-  BestTracker best;
-  std::mt19937 rng(seed);
-  // Budget = number of *evaluations* (replays + cache hits), matching the
-  // ordered traversal's accounting; invalid draws are rejected without
-  // charge (bounded).
-  const std::size_t max_attempts = samples * 500 + 1000;
-  std::size_t attempts = 0;
-  std::uint64_t evaluations = 0;
-  while (attempts < max_attempts && evaluations < samples) {
-    std::vector<EvalJob> jobs;
-    while (attempts < max_attempts &&
-           evaluations + jobs.size() < samples &&
-           jobs.size() < kStreamBatch) {
-      ++attempts;
-      DmmConfig cfg = opts_.defaults;
-      for (TreeId t : all_trees()) {
-        set_leaf(cfg, t, uniform_leaf(rng, leaf_count(t)));
-      }
-      bool valid = true;
-      for (const alloc::RuleViolation& v : alloc::check_rules(cfg)) {
-        if (v.hard || opts_.prune_soft) {
-          valid = false;
-          break;
-        }
-      }
-      if (!valid) continue;
-      jobs.push_back({cfg, jobs.size()});
-    }
-    evaluations += jobs.size();
-    for (const EvalOutcome& out : evaluate(jobs, cache.ptr, result)) {
-      if (best.offer(opts_, out)) {
-        result.best = jobs[out.tag].cfg;
-        result.best_sim = out.sim;
-        result.work_steps = out.work_steps;
-      }
-    }
-  }
-  result.feasible = best.feasible();
-  result.cross_search_hits = cache.cross_search_hits();
-  result.persisted_hits = cache.persisted_hits();
-  return result;
 }
 
 }  // namespace dmm::core

@@ -42,7 +42,10 @@ namespace dmm::core {
 
 inline constexpr std::uint8_t kSnapshotMagic[8] = {'D', 'M', 'M', 'S',
                                                    'C', 'O', 'R', 'E'};
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// Version history: 1 = initial format; 2 = canonical() widened (B3
+// collapses under non-per-class pool divisions), so v1 entries may be
+// keyed under a form the current code would never look up — reject them.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 inline constexpr std::size_t kSnapshotHeaderBytes = 8 + 4 + 8;
 inline constexpr std::size_t kSnapshotRecordBytes =
     8 + 8 + 15 + (4 * 8 + 4) + (7 * 8) + 8;

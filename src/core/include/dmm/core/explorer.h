@@ -10,127 +10,24 @@
 #include "dmm/core/constraints.h"
 #include "dmm/core/eval_engine.h"
 #include "dmm/core/order.h"
+#include "dmm/core/search.h"
 #include "dmm/core/simulator.h"
 #include "dmm/core/trace.h"
 
 namespace dmm::core {
 
-/// Options steering the search (paper Sec. 4/5).
-struct ExplorerOptions {
-  /// Values undecided trees hold before repair; also the seed vector.
-  /// Capability-max by default: when a tree is scored, the still-undecided
-  /// trees complete it with *supporting* choices (constraint repair), so a
-  /// leaf is judged by the best manager family it can lead to — the way
-  /// the paper's Sec. 5 walk reasons ("many block sizes ... because the
-  /// application requests blocks that vary greatly").  The Fig. 4 trap is
-  /// about a *myopic* designer deciding A3 by local cost; the ablation
-  /// bench models that explicitly rather than through these defaults.
-  alloc::DmmConfig defaults{};
-  /// Reject incoherent (soft-violating) combinations, not just inoperable
-  /// ones.
-  bool prune_soft = true;
-  /// Secondary objective weight: score = peak + time_weight * work_steps.
-  /// 0 keeps the paper's pure-footprint objective (work only tie-breaks).
-  double time_weight = 0.0;
-  /// Candidate-evaluation parallelism: 1 = in-thread serial engine,
-  /// N > 1 = ThreadPoolEngine with N workers, 0 = one worker per hardware
-  /// thread.  Results are bit-identical regardless of this value.
-  unsigned num_threads = 1;
-  /// Memoize candidate scores for the duration of one search call —
-  /// repaired completions collide often in the greedy walk, and a hit
-  /// skips a whole trace replay.
-  bool cache = true;
-  /// Cross-search score cache shared between searches, explorers, and
-  /// threads (keyed by trace fingerprint x canonical vector).  When set
-  /// (and `cache` is on) it replaces the per-search ScoreCache: every
-  /// search of a design_manager() run — each phase's greedy walk plus the
-  /// exhaustive/random validation passes — reuses the others' replays.
-  /// Search outcomes (best, step logs) are bit-identical either way; only
-  /// the simulations/cache_hits split shifts as more replays are reused.
-  std::shared_ptr<SharedScoreCache> shared_cache;
-  /// Persist the shared score cache across processes.  When non-empty
-  /// (and `cache` is on), the Explorer loads this snapshot at
-  /// construction — creating `shared_cache` first if none was injected —
-  /// and saves the cache back at destruction (write-temp-then-rename, so
-  /// concurrent sessions last-writer-win).  A missing, truncated,
-  /// corrupted, or version-mismatched snapshot is rejected whole and the
-  /// cache starts cold; hits served from imported entries are reported as
-  /// ExplorationResult::persisted_hits.
-  std::string cache_file;
-  /// exhaustive(): enumerate the canonical quotient space — skip any
-  /// odometer vector whose repaired canonical form was already enumerated
-  /// this run, so the cartesian product collapses to behaviourally
-  /// distinct managers and max_evals buys real coverage.
-  bool canonical_prune = true;
-};
-
-/// Score of one candidate leaf during a traversal step.
-struct CandidateScore {
-  int leaf = -1;
-  bool admissible = false;
-  std::size_t peak_footprint = 0;
-  double avg_footprint = 0.0;
-  std::uint64_t work_steps = 0;
-  std::uint64_t failed_allocs = 0;
-};
-
-/// One decided tree: which leaf won and what every candidate scored.
-struct StepLog {
-  TreeId tree{};
-  int chosen = -1;
-  std::vector<CandidateScore> candidates;
-};
-
-/// Outcome of a search over the decision space.
-struct ExplorationResult {
-  alloc::DmmConfig best{};
-  SimResult best_sim{};
-  /// True iff `best` replayed the whole trace without a failed allocation.
-  /// When false no candidate was feasible: `best` is only the least-bad
-  /// vector (fewest failures), not a usable design.
-  bool feasible = false;
-  std::uint64_t work_steps = 0;     ///< manager work during best replay
-  std::vector<StepLog> steps;       ///< ordered-traversal log (if used)
-  std::uint64_t simulations = 0;    ///< trace replays actually executed
-  std::uint64_t cache_hits = 0;     ///< evaluations served by a score cache
-  /// Subset of cache_hits paid for by a *different* search on the shared
-  /// cache (always 0 with the per-search cache).
-  std::uint64_t cross_search_hits = 0;
-  /// Subset of cache_hits served from snapshot entries a previous process
-  /// replayed (ExplorerOptions::cache_file / SharedScoreCache::load);
-  /// disjoint from cross_search_hits.
-  std::uint64_t persisted_hits = 0;
-  /// exhaustive(): vectors skipped as canonical duplicates of an already
-  /// enumerated one (each would have been a replay or a budgeted hit).
-  std::uint64_t canonical_skips = 0;
-};
-
-/// Lexicographic candidate comparison shared by every search mode: primary
-/// objective (peak footprint, optionally time-weighted), then average
-/// footprint — the paper's "returned back to the system for other
-/// applications" benefit — then manager work.  Peaks within 1% count as
-/// tied: the paper reports <2% run-to-run variation (Sec. 5), so
-/// differences at that scale are placement noise, not design signal.
-///
-/// Infinite objectives (infeasible candidates) are handled explicitly: a
-/// feasible candidate always beats an infeasible one, and two infeasible
-/// ones rank by failed-allocation count (closest to feasible first) — the
-/// naive `abs(obj_a - obj_b) > 0.01 * min(...)` would be NaN when both
-/// objectives are +inf and silently fall through to the footprint tiers.
-[[nodiscard]] bool candidate_better(double obj_a, std::uint64_t failed_a,
-                                    double avg_a, std::uint64_t work_a,
-                                    double obj_b, std::uint64_t failed_b,
-                                    double avg_b, std::uint64_t work_b);
-
 /// Trace-driven design-space search: the executable form of the paper's
 /// methodology.  The headline mode is explore(), the ordered greedy
 /// traversal of Sec. 4.2 with constraint propagation; exhaustive() and
 /// random_search() exist to validate it (and power the ablation benches).
+/// All three are thin wrappers over the SearchStrategy seam (search.h):
+/// run() executes any strategy — the built-in five or a caller's own —
+/// against this explorer's trace, engine, and caches.
 ///
 /// Candidate evaluations are independent (one isolated arena per replay),
-/// so every mode submits them in batches to a pluggable EvalEngine; the
-/// trace is held immutably behind a shared_ptr so pool workers replay it
-/// without copies.  Search results — best vector, step logs, simulation
+/// so every strategy submits them in batches to a pluggable EvalEngine;
+/// the trace is held immutably behind a shared_ptr so pool workers replay
+/// it without copies.  Search results — best vector, step logs, simulation
 /// and cache-hit counts — are bit-identical across engines and thread
 /// counts (wall time in best_sim is the one measured, not replayed).
 class Explorer {
@@ -142,6 +39,18 @@ class Explorer {
   /// Saves the shared score cache back to ExplorerOptions::cache_file
   /// (when one was configured) — see the option's doc for the semantics.
   ~Explorer();
+
+  /// Runs @p strategy against this explorer's trace: builds the
+  /// SearchContext (cache session, engine binding, result assembly),
+  /// executes the strategy, and returns the assembled result.  If the
+  /// strategy throws, the score cache is saved to cache_file first (when
+  /// configured) so the replays already paid for survive even an
+  /// exception that never unwinds this Explorer.
+  [[nodiscard]] ExplorationResult run(SearchStrategy& strategy);
+
+  /// Runs the strategy ExplorerOptions::search selects (greedy over
+  /// paper_order() by default) — the CLIs' `--search` entry point.
+  [[nodiscard]] ExplorationResult run();
 
   /// Greedy ordered traversal: decide trees in @p order, scoring each
   /// admissible leaf by replaying the trace on the repaired completion.
@@ -179,16 +88,8 @@ class Explorer {
   [[nodiscard]] const EvalEngine& engine() const { return *engine_; }
 
  private:
-  struct BestTracker;
-  struct SearchCache;
-
-  [[nodiscard]] static double objective(const ExplorerOptions& opts,
-                                        const SimResult& sim,
-                                        std::uint64_t work);
-  /// Evaluates a batch, charging replays/hits to @p result.
-  [[nodiscard]] std::vector<EvalOutcome> evaluate(
-      const std::vector<EvalJob>& jobs, CandidateCache* cache,
-      ExplorationResult& result);
+  /// The destructor's (and the failed-search path's) cache_file save.
+  void save_cache_file() const;
 
   std::shared_ptr<const AllocTrace> trace_;
   std::uint64_t trace_fingerprint_ = 0;

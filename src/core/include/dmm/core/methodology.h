@@ -18,7 +18,11 @@ struct MethodologyOptions {
   PhaseDetectorOptions phase_options{};
   /// Steers every per-phase search.  Set explorer_options.shared_cache to
   /// serve the whole run — all phase walks plus the validation passes —
-  /// from one cross-search score cache.
+  /// from one cross-search score cache.  `explorer_options.search` picks
+  /// the per-phase strategy (greedy by default; beam/anneal/exhaustive/
+  /// random via the same SearchSpec the CLIs' --search flag parses);
+  /// ordered strategies traverse `order`, the exhaustive one enumerates
+  /// `validation_trees`.
   ExplorerOptions explorer_options{};
   /// Traversal order (defaults to the published one).
   std::vector<TreeId> order = paper_order();
@@ -28,9 +32,7 @@ struct MethodologyOptions {
   /// replays and only pays for vectors the walk never visited.
   bool validate = false;
   /// High-impact subspace the validator enumerates (canonical quotient).
-  std::vector<TreeId> validation_trees = {TreeId::kA2, TreeId::kA5,
-                                          TreeId::kE2, TreeId::kD2,
-                                          TreeId::kB4, TreeId::kC1};
+  std::vector<TreeId> validation_trees = high_impact_trees();
   /// Evaluation budget of each per-phase validation pass.
   std::size_t validation_max_evals = 100000;
   /// Persist the run's shared score cache across processes.  When

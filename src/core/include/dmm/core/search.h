@@ -1,0 +1,403 @@
+#ifndef DMM_CORE_SEARCH_H
+#define DMM_CORE_SEARCH_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "dmm/alloc/config.h"
+#include "dmm/core/constraints.h"
+#include "dmm/core/eval_engine.h"
+#include "dmm/core/order.h"
+#include "dmm/core/simulator.h"
+#include "dmm/core/trace.h"
+
+namespace dmm::core {
+
+// ===========================================================================
+// The search layer: everything between "a trace to optimise for" and "the
+// best decision vector we found".  A SearchStrategy encodes *where to look*
+// (greedy walk, beam, exhaustive odometer, random sampling, annealing); the
+// SearchContext it runs against owns everything the strategies share — job
+// batching into the EvalEngine, candidate_better-based best tracking, the
+// per-search/shared/persisted cache accounting, the canonical seen-set, and
+// ExplorationResult assembly — so a new searcher is ~100 lines of "propose
+// vectors, offer outcomes", not a fork of the Explorer.
+// ===========================================================================
+
+/// Knobs of the simulated-annealing searcher (AnnealingSearch).  The
+/// cooling schedule is geometric: the temperature starts at
+/// `initial_temp x max(1, energy of the start vector)` and is multiplied
+/// by `cooling` after every `moves_per_temp` evaluated proposals, so the
+/// trajectory is a pure function of (trace, options, seed).
+struct AnnealingOptions {
+  /// Evaluation budget (replays + cache hits), matching the other
+  /// searchers' accounting; proposal attempts rejected before scoring
+  /// (rule-invalid or canonical no-ops) are not charged.
+  std::size_t max_evals = 400;
+  /// Seeds the mt19937 driving tree/leaf choice and uphill acceptance —
+  /// the whole trajectory is deterministic for a fixed seed.
+  unsigned seed = 1;
+  double initial_temp = 0.10;      ///< T0 as a fraction of the start energy
+  double cooling = 0.95;           ///< geometric factor per cooling step
+  std::size_t moves_per_temp = 8;  ///< evaluated proposals between coolings
+};
+
+/// Parsed strategy selection, the CLI's `--search` value:
+///   greedy | beam:K | anneal[:SEED] | exhaustive | random[:N[:SEED]]
+/// Ordered strategies (greedy, beam) traverse the order the caller passes
+/// to make_strategy(); exhaustive enumerates the caller's tree subspace.
+struct SearchSpec {
+  enum class Kind { kGreedy, kBeam, kAnneal, kExhaustive, kRandom };
+  Kind kind = Kind::kGreedy;
+  std::size_t beam_width = 2;      ///< kBeam
+  AnnealingOptions anneal{};       ///< kAnneal
+  std::size_t max_evals = 100000;  ///< kExhaustive budget
+  std::size_t samples = 200;       ///< kRandom budget
+  unsigned seed = 1;               ///< kRandom seed
+};
+
+/// Options steering the search (paper Sec. 4/5).
+struct ExplorerOptions {
+  /// Values undecided trees hold before repair; also the seed vector.
+  /// Capability-max by default: when a tree is scored, the still-undecided
+  /// trees complete it with *supporting* choices (constraint repair), so a
+  /// leaf is judged by the best manager family it can lead to — the way
+  /// the paper's Sec. 5 walk reasons ("many block sizes ... because the
+  /// application requests blocks that vary greatly").  The Fig. 4 trap is
+  /// about a *myopic* designer deciding A3 by local cost; the ablation
+  /// bench models that explicitly (alloc::minimal_config() defaults +
+  /// fig4_wrong_order()) rather than through these defaults.
+  alloc::DmmConfig defaults{};
+  /// Reject incoherent (soft-violating) combinations, not just inoperable
+  /// ones.
+  bool prune_soft = true;
+  /// Secondary objective weight: score = peak + time_weight * work_steps.
+  /// 0 keeps the paper's pure-footprint objective (work only tie-breaks).
+  double time_weight = 0.0;
+  /// Candidate-evaluation parallelism: 1 = in-thread serial engine,
+  /// N > 1 = ThreadPoolEngine with N workers, 0 = one worker per hardware
+  /// thread.  Results are bit-identical regardless of this value.
+  unsigned num_threads = 1;
+  /// Memoize candidate scores for the duration of one search call —
+  /// repaired completions collide often in the greedy walk, and a hit
+  /// skips a whole trace replay.
+  bool cache = true;
+  /// Cross-search score cache shared between searches, explorers, and
+  /// threads (keyed by trace fingerprint x canonical vector).  When set
+  /// (and `cache` is on) it replaces the per-search ScoreCache: every
+  /// search of a design_manager() run — each phase's greedy walk plus the
+  /// exhaustive/random validation passes — reuses the others' replays.
+  /// Search outcomes (best, step logs) are bit-identical either way; only
+  /// the simulations/cache_hits split shifts as more replays are reused.
+  std::shared_ptr<SharedScoreCache> shared_cache;
+  /// Persist the shared score cache across processes.  When non-empty
+  /// (and `cache` is on), the Explorer loads this snapshot at
+  /// construction — creating `shared_cache` first if none was injected —
+  /// and saves the cache back at destruction (write-temp-then-rename, so
+  /// concurrent sessions last-writer-win).  The cache is also saved when
+  /// a search throws mid-run, so the replays already paid for survive
+  /// even if the exception never unwinds the Explorer.  A missing,
+  /// truncated, corrupted, or version-mismatched snapshot is rejected
+  /// whole and the cache starts cold; hits served from imported entries
+  /// are reported as ExplorationResult::persisted_hits.
+  std::string cache_file;
+  /// exhaustive(): enumerate the canonical quotient space — skip any
+  /// odometer vector whose repaired canonical form was already enumerated
+  /// this run, so the cartesian product collapses to behaviourally
+  /// distinct managers and max_evals buys real coverage.
+  bool canonical_prune = true;
+  /// random_search(): also skip draws whose canonical form was already
+  /// evaluated this search (reported as canonical_skips, charged
+  /// nothing).  Off by default on purpose: skipping duplicates makes the
+  /// sampler draw *without* replacement over the canonical quotient,
+  /// which is a different distribution from the uniform-with-replacement
+  /// draw the ablation benches compare against the greedy walk — turn it
+  /// on for coverage, leave it off for an apples-to-apples budget
+  /// comparison.
+  bool canonical_prune_random = false;
+  /// The strategy Explorer::run() (no arguments) executes; the CLIs'
+  /// `--search` flag and MethodologyOptions land here.  The explicit
+  /// explore()/exhaustive()/random_search() calls ignore it.
+  SearchSpec search{};
+};
+
+/// Score of one candidate leaf during a traversal step.
+struct CandidateScore {
+  int leaf = -1;
+  bool admissible = false;
+  std::size_t peak_footprint = 0;
+  double avg_footprint = 0.0;
+  std::uint64_t work_steps = 0;
+  std::uint64_t failed_allocs = 0;
+};
+
+/// One decided tree: which leaf won and what every candidate scored.
+struct StepLog {
+  TreeId tree{};
+  int chosen = -1;
+  std::vector<CandidateScore> candidates;
+};
+
+/// Outcome of a search over the decision space.
+struct ExplorationResult {
+  alloc::DmmConfig best{};
+  SimResult best_sim{};
+  /// True iff `best` replayed the whole trace without a failed allocation.
+  /// When false no candidate was feasible: `best` is only the least-bad
+  /// vector (fewest failures), not a usable design.
+  bool feasible = false;
+  std::uint64_t work_steps = 0;     ///< manager work during best replay
+  std::vector<StepLog> steps;       ///< ordered-traversal log (if used)
+  std::uint64_t simulations = 0;    ///< trace replays actually executed
+  std::uint64_t cache_hits = 0;     ///< evaluations served by a score cache
+  /// Subset of cache_hits paid for by a *different* search on the shared
+  /// cache (always 0 with the per-search cache).
+  std::uint64_t cross_search_hits = 0;
+  /// Subset of cache_hits served from snapshot entries a previous process
+  /// replayed (ExplorerOptions::cache_file / SharedScoreCache::load);
+  /// disjoint from cross_search_hits.
+  std::uint64_t persisted_hits = 0;
+  /// Vectors skipped as canonical duplicates of an already-seen one:
+  /// exhaustive() under canonical_prune, random_search() under
+  /// canonical_prune_random, and annealing proposals that mutated a dead
+  /// leaf (a no-op in the canonical quotient).  Skips are never charged
+  /// to the evaluation budget.
+  std::uint64_t canonical_skips = 0;
+  /// Evaluations (replays + cache hits) charged up to and including the
+  /// batch in which the winning vector was recorded — the benches'
+  /// "evals-to-best".  Streaming searches improve mid-run; ordered walks
+  /// commit their completion only at the end, so theirs equals the total.
+  std::uint64_t evals_to_best = 0;
+};
+
+/// Lexicographic candidate comparison shared by every search mode: primary
+/// objective (peak footprint, optionally time-weighted), then average
+/// footprint — the paper's "returned back to the system for other
+/// applications" benefit — then manager work.  Peaks within 1% count as
+/// tied: the paper reports <2% run-to-run variation (Sec. 5), so
+/// differences at that scale are placement noise, not design signal.
+///
+/// Infinite objectives (infeasible candidates) are handled explicitly: a
+/// feasible candidate always beats an infeasible one, and two infeasible
+/// ones rank by failed-allocation count (closest to feasible first) — the
+/// naive `abs(obj_a - obj_b) > 0.01 * min(...)` would be NaN when both
+/// objectives are +inf and silently fall through to the footprint tiers.
+[[nodiscard]] bool candidate_better(double obj_a, std::uint64_t failed_a,
+                                    double avg_a, std::uint64_t work_a,
+                                    double obj_b, std::uint64_t failed_b,
+                                    double avg_b, std::uint64_t work_b);
+
+/// The primary objective of one scored candidate: peak footprint plus the
+/// optional time_weight * work term; +inf for infeasible replays.
+[[nodiscard]] double candidate_objective(const ExplorerOptions& opts,
+                                         const SimResult& sim,
+                                         std::uint64_t work);
+
+/// Running "best so far" over a stream of outcomes, processed in job
+/// order — the selection is a strict left fold, which is what keeps the
+/// winner independent of how the engine scheduled the replays.
+struct BestTracker {
+  double obj = 0;
+  std::uint64_t failed = 0;
+  double avg = 0;
+  std::uint64_t work = 0;
+  bool any = false;
+
+  /// True iff @p out displaces the incumbent.
+  bool offer(const ExplorerOptions& opts, const EvalOutcome& out);
+
+  /// The incumbent replayed the trace without a failed allocation.
+  [[nodiscard]] bool feasible() const { return any && failed == 0; }
+};
+
+/// What every SearchStrategy runs against: one search call's worth of the
+/// machinery the strategies would otherwise each reimplement.
+///
+///   * evaluate() — batches jobs into the EvalEngine through the right
+///     cache scope (injected shared cache's session / search-local
+///     ScoreCache / none) and charges simulations vs cache_hits.
+///   * offer_best()/set_best() — candidate_better-based incumbent
+///     tracking, recording best/best_sim/work_steps/evals_to_best.
+///   * canonical_duplicate() — the canonical seen-set behind the quotient
+///     prunes, counting canonical_skips.
+///   * finish() — harvests the cache session's cross-search/persisted hit
+///     counters and assembles the ExplorationResult.
+///
+/// A context is single-use and single-threaded, like the search call that
+/// owns it (parallelism lives inside the engine).
+class SearchContext {
+ public:
+  SearchContext(const AllocTrace& trace, std::uint64_t trace_fingerprint,
+                const ExplorerOptions& opts, EvalEngine& engine);
+
+  [[nodiscard]] const ExplorerOptions& options() const { return opts_; }
+  [[nodiscard]] const AllocTrace& trace() const { return trace_; }
+
+  /// Scores a batch through the engine and cache; outcomes come back in
+  /// job order, replays/hits charged to the result.
+  [[nodiscard]] std::vector<EvalOutcome> evaluate(
+      const std::vector<EvalJob>& jobs);
+
+  /// Evaluations charged so far (replays + cache hits) — the budget every
+  /// streaming strategy meters against.
+  [[nodiscard]] std::uint64_t evaluations() const {
+    return result_.simulations + result_.cache_hits;
+  }
+
+  /// Offers a scored full vector to the incumbent (left fold over calls);
+  /// true iff it displaced the best, which records cfg/sim/work.
+  bool offer_best(const alloc::DmmConfig& cfg, const EvalOutcome& out);
+
+  /// Unconditionally crowns @p cfg (an ordered walk's final completion).
+  void set_best(const alloc::DmmConfig& cfg, const EvalOutcome& out);
+
+  /// True (and counts a canonical_skip) iff @p cfg's canonical form was
+  /// already recorded this search; records it otherwise.
+  bool canonical_duplicate(const alloc::DmmConfig& cfg);
+
+  /// The in-progress result — strategies append step logs here.
+  [[nodiscard]] ExplorationResult& result() { return result_; }
+
+  /// Assembles and returns the final result (call exactly once).
+  [[nodiscard]] ExplorationResult finish();
+
+ private:
+  /// The cache one search evaluates against: the injected shared cache's
+  /// session when configured, a search-local ScoreCache otherwise,
+  /// nothing when caching is off.
+  struct CacheBinding {
+    ScoreCache local;
+    std::optional<SharedScoreCache::Session> session;
+    CandidateCache* ptr = nullptr;
+
+    CacheBinding(const ExplorerOptions& opts, std::uint64_t trace_fingerprint);
+  };
+
+  const AllocTrace& trace_;
+  const ExplorerOptions& opts_;
+  EvalEngine& engine_;
+  CacheBinding cache_;
+  BestTracker tracker_;
+  ExplorationResult result_;
+  std::unordered_set<alloc::DmmConfig, alloc::DmmConfigHash> canonical_seen_;
+};
+
+/// A search algorithm over the decision space: proposes candidate vectors
+/// and offers their outcomes to the context.  Implementations own *where
+/// to look*; the context owns scoring, accounting, and result assembly.
+/// Run one via Explorer::run().
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+
+  /// Short id for logs/benches ("greedy", "beam:4", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  virtual void run(SearchContext& ctx) = 0;
+};
+
+/// The paper's greedy ordered traversal (Sec. 4.2): decide trees in order,
+/// scoring each admissible leaf by replaying the trace on the repaired
+/// completion.  Explorer::explore() runs exactly this strategy.
+class GreedySearch final : public SearchStrategy {
+ public:
+  explicit GreedySearch(std::vector<TreeId> order = paper_order());
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  void run(SearchContext& ctx) override;
+
+ private:
+  std::vector<TreeId> order_;
+};
+
+/// Width-k generalization of the greedy walk: at every tree the k best
+/// partial vectors (ranked by candidate_better over their expansions, in
+/// job order) survive, so a locally second-best leaf — the Fig. 4
+/// example's A3=header against the myopically cheaper A3=none — stays
+/// alive until its downstream payoff is visible.  Width 1 is bit-identical
+/// to GreedySearch; the step log reports the winning beam's path.
+class BeamSearch final : public SearchStrategy {
+ public:
+  explicit BeamSearch(std::size_t width,
+                      std::vector<TreeId> order = paper_order());
+  [[nodiscard]] std::string name() const override;
+  void run(SearchContext& ctx) override;
+
+ private:
+  std::size_t width_;
+  std::vector<TreeId> order_;
+};
+
+/// Exhaustive odometer over the given trees' cartesian product (other
+/// trees repaired from defaults), enumerating the canonical quotient when
+/// ExplorerOptions::canonical_prune is on.  Explorer::exhaustive().
+class ExhaustiveSearch final : public SearchStrategy {
+ public:
+  ExhaustiveSearch(std::vector<TreeId> trees, std::size_t max_evals);
+  [[nodiscard]] std::string name() const override { return "exhaustive"; }
+  void run(SearchContext& ctx) override;
+
+ private:
+  std::vector<TreeId> trees_;
+  std::size_t max_evals_;
+};
+
+/// Uniform random sampling of full decision vectors (invalid draws are
+/// rejected without charge; canonical duplicates too under
+/// ExplorerOptions::canonical_prune_random).  Explorer::random_search().
+class RandomSearch final : public SearchStrategy {
+ public:
+  RandomSearch(std::size_t samples, unsigned seed);
+  [[nodiscard]] std::string name() const override { return "random"; }
+  void run(SearchContext& ctx) override;
+
+ private:
+  std::size_t samples_;
+  unsigned seed_;
+};
+
+/// Seeded, deterministic simulated annealing over the canonical quotient.
+///
+/// State is a full *canonical* decision vector.  A move mutates one tree
+/// to a different leaf, minimally repairs the trees a violated rule drags
+/// along (Constraints::repair with only the mutated tree decided — the
+/// "decide A5, schedules follow" coupling that makes single-leaf moves
+/// able to cross mechanism boundaries at all), canonicalizes, and skips
+/// canonical no-ops (dead-leaf mutations) unscored.  Energy is the shared
+/// candidate objective, with infeasible vectors ranked beyond any feasible
+/// one by failed-alloc count.  Cooling is AnnealingOptions' geometric
+/// schedule; uphill moves are accepted iff u < exp(-delta/T) with u drawn
+/// from the seeded mt19937 (consumed only on uphill proposals), so a fixed
+/// seed fixes the whole trajectory on every platform.
+class AnnealingSearch final : public SearchStrategy {
+ public:
+  explicit AnnealingSearch(AnnealingOptions opts = {});
+  [[nodiscard]] std::string name() const override { return "anneal"; }
+  void run(SearchContext& ctx) override;
+
+ private:
+  AnnealingOptions anneal_;
+};
+
+/// The high-impact subspace the exhaustive validator enumerates by
+/// default (also MethodologyOptions::validation_trees' default).
+[[nodiscard]] const std::vector<TreeId>& high_impact_trees();
+
+/// Parses a `--search` value; nullopt (with no side effects) on syntax or
+/// range errors.  Accepted forms: "greedy", "beam:K" (K >= 1), "anneal",
+/// "anneal:SEED", "exhaustive", "random", "random:N", "random:N:SEED".
+[[nodiscard]] std::optional<SearchSpec> parse_search_spec(
+    const std::string& text);
+
+/// Builds the strategy @p spec names.  @p order steers the ordered
+/// strategies (greedy, beam); @p trees is the exhaustive subspace.
+[[nodiscard]] std::unique_ptr<SearchStrategy> make_strategy(
+    const SearchSpec& spec, const std::vector<TreeId>& order = paper_order(),
+    const std::vector<TreeId>& trees = high_impact_trees());
+
+}  // namespace dmm::core
+
+#endif  // DMM_CORE_SEARCH_H

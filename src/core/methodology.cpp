@@ -52,37 +52,55 @@ MethodologyResult design_manager(const AllocTrace& trace,
     persisted = explorer_options.shared_cache;
     (void)persisted->load(options.cache_file);
   }
+  // Guard the whole phase loop: a phase search that throws must still
+  // persist the replays the cache already absorbed — and an exception
+  // escaping main() never unwinds, so a destructor-based guard alone
+  // would lose them.  Save explicitly on both paths (the save is atomic
+  // and idempotent).
+  const auto save_cache = [&] {
+    if (persisted != nullptr) (void)persisted->save(options.cache_file);
+  };
   const auto charge = [&result](const ExplorationResult& r) {
     result.total_simulations += r.simulations;
     result.total_cache_hits += r.cache_hits;
     result.total_cross_search_hits += r.cross_search_hits;
     result.total_persisted_hits += r.persisted_hits;
   };
-  for (const AllocTrace& sub : sub_traces) {
-    if (sub.empty()) {
-      // Phase with no allocations: reuse defaults.
-      result.phase_configs.push_back(options.explorer_options.defaults);
-      result.phase_results.emplace_back();
-      if (options.validate) result.validation_results.emplace_back();
-      continue;
+  try {
+    for (const AllocTrace& sub : sub_traces) {
+      if (sub.empty()) {
+        // Phase with no allocations: reuse defaults.
+        result.phase_configs.push_back(options.explorer_options.defaults);
+        result.phase_results.emplace_back();
+        if (options.validate) result.validation_results.emplace_back();
+        continue;
+      }
+      Explorer explorer(sub, explorer_options);
+      // The per-phase searcher is pluggable (explorer_options.search):
+      // greedy stays the default and the published flow; beam/anneal/...
+      // drop in through the same strategy seam.
+      const std::unique_ptr<SearchStrategy> strategy = make_strategy(
+          explorer_options.search, options.order, options.validation_trees);
+      ExplorationResult r = explorer.run(*strategy);
+      charge(r);
+      result.phase_configs.push_back(r.best);
+      result.phase_results.push_back(std::move(r));
+      if (options.validate) {
+        // Ground-truth pass over the high-impact subspace.  Runs after the
+        // walk, so the walk's outcome is byte-for-byte what it would be
+        // without validation; with a shared cache the two searches reuse
+        // each other's replays (reported as cross-search hits).
+        ExplorationResult v = explorer.exhaustive(options.validation_trees,
+                                                  options.validation_max_evals);
+        charge(v);
+        result.validation_results.push_back(std::move(v));
+      }
     }
-    Explorer explorer(sub, explorer_options);
-    ExplorationResult r = explorer.explore(options.order);
-    charge(r);
-    result.phase_configs.push_back(r.best);
-    result.phase_results.push_back(std::move(r));
-    if (options.validate) {
-      // Ground-truth pass over the high-impact subspace.  Runs after the
-      // walk, so the walk's outcome is byte-for-byte what it would be
-      // without validation; with a shared cache the two searches reuse
-      // each other's replays (reported as cross-search hits).
-      ExplorationResult v = explorer.exhaustive(options.validation_trees,
-                                                options.validation_max_evals);
-      charge(v);
-      result.validation_results.push_back(std::move(v));
-    }
+  } catch (...) {
+    save_cache();
+    throw;
   }
-  if (persisted != nullptr) (void)persisted->save(options.cache_file);
+  save_cache();
   return result;
 }
 

@@ -1,0 +1,658 @@
+#include "dmm/core/search.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <random>
+
+namespace dmm::core {
+
+using alloc::DmmConfig;
+
+namespace {
+
+/// Batch size for the streaming strategies (exhaustive / random search):
+/// large enough to keep a pool busy, small enough that the evaluation
+/// budget is respected closely.  Deliberately independent of the engine's
+/// thread count so the simulations/cache_hits accounting never varies
+/// with it.
+constexpr std::size_t kStreamBatch = 64;
+
+/// Unbiased draw in [0, n) by rejection.  `rng() % n` over-samples low
+/// leaves (2^32 is not a multiple of most leaf counts), and
+/// std::uniform_int_distribution's algorithm is implementation-defined —
+/// the same seed would sample different vectors on different standard
+/// libraries.  This is both unbiased and reproducible everywhere.
+int uniform_leaf(std::mt19937& rng, int n) {
+  const std::uint32_t bound = static_cast<std::uint32_t>(n);
+  const std::uint32_t residue = (0u - bound) % bound;  // 2^32 mod bound
+  for (;;) {
+    const std::uint32_t v = rng();
+    // Accept below the largest multiple of bound (2^32 - residue).
+    if (residue == 0 || v < 0u - residue) {
+      return static_cast<int>(v % bound);
+    }
+  }
+}
+
+/// True iff @p cfg passes the rule set at the search's pruning level.
+bool passes_rules(const ExplorerOptions& opts, const DmmConfig& cfg) {
+  for (const alloc::RuleViolation& v : alloc::check_rules(cfg)) {
+    if (v.hard || opts.prune_soft) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// shared scoring pieces
+// ---------------------------------------------------------------------------
+
+double candidate_objective(const ExplorerOptions& opts, const SimResult& sim,
+                           std::uint64_t work) {
+  if (sim.failed_allocs > 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(sim.peak_footprint) +
+         opts.time_weight * static_cast<double>(work);
+}
+
+bool candidate_better(double obj_a, std::uint64_t failed_a, double avg_a,
+                      std::uint64_t work_a, double obj_b,
+                      std::uint64_t failed_b, double avg_b,
+                      std::uint64_t work_b) {
+  // Infinite objectives first: the 1%-band arithmetic below is only
+  // meaningful on finite peaks (inf - inf is NaN, and every comparison
+  // against NaN is false — which used to drop straight through to the
+  // avg-footprint tier and let an infeasible vector win ties).
+  const bool finite_a = std::isfinite(obj_a);
+  const bool finite_b = std::isfinite(obj_b);
+  if (finite_a != finite_b) return finite_a;
+  if (!finite_a) {
+    // Both infeasible: rank by distance to feasibility so the reported
+    // least-bad vector is deterministic and meaningful.
+    if (failed_a != failed_b) return failed_a < failed_b;
+  } else {
+    const double tol = 0.01 * std::min(obj_a, obj_b);
+    if (std::abs(obj_a - obj_b) > tol) return obj_a < obj_b;
+  }
+  const double avg_tol = 0.01 * std::min(avg_a, avg_b);
+  if (std::abs(avg_a - avg_b) > avg_tol) return avg_a < avg_b;
+  return work_a < work_b;
+}
+
+bool BestTracker::offer(const ExplorerOptions& opts, const EvalOutcome& out) {
+  const double o = candidate_objective(opts, out.sim, out.work_steps);
+  if (any && !candidate_better(o, out.sim.failed_allocs,
+                               out.sim.avg_footprint, out.work_steps, obj,
+                               failed, avg, work)) {
+    return false;
+  }
+  obj = o;
+  failed = out.sim.failed_allocs;
+  avg = out.sim.avg_footprint;
+  work = out.work_steps;
+  any = true;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SearchContext
+// ---------------------------------------------------------------------------
+
+SearchContext::CacheBinding::CacheBinding(const ExplorerOptions& opts,
+                                          std::uint64_t trace_fingerprint) {
+  if (!opts.cache) return;
+  if (opts.shared_cache != nullptr) {
+    session.emplace(opts.shared_cache->begin_search(trace_fingerprint));
+    ptr = &*session;
+  } else {
+    ptr = &local;
+  }
+}
+
+SearchContext::SearchContext(const AllocTrace& trace,
+                             std::uint64_t trace_fingerprint,
+                             const ExplorerOptions& opts, EvalEngine& engine)
+    : trace_(trace),
+      opts_(opts),
+      engine_(engine),
+      cache_(opts, trace_fingerprint) {}
+
+std::vector<EvalOutcome> SearchContext::evaluate(
+    const std::vector<EvalJob>& jobs) {
+  std::vector<EvalOutcome> outcomes =
+      engine_.evaluate(trace_, jobs, cache_.ptr);
+  for (const EvalOutcome& out : outcomes) {
+    if (out.from_cache) {
+      ++result_.cache_hits;
+    } else {
+      ++result_.simulations;
+    }
+  }
+  return outcomes;
+}
+
+bool SearchContext::offer_best(const DmmConfig& cfg, const EvalOutcome& out) {
+  if (!tracker_.offer(opts_, out)) return false;
+  result_.best = cfg;
+  result_.best_sim = out.sim;
+  result_.work_steps = out.work_steps;
+  result_.evals_to_best = evaluations();
+  return true;
+}
+
+void SearchContext::set_best(const DmmConfig& cfg, const EvalOutcome& out) {
+  tracker_.obj = candidate_objective(opts_, out.sim, out.work_steps);
+  tracker_.failed = out.sim.failed_allocs;
+  tracker_.avg = out.sim.avg_footprint;
+  tracker_.work = out.work_steps;
+  tracker_.any = true;
+  result_.best = cfg;
+  result_.best_sim = out.sim;
+  result_.work_steps = out.work_steps;
+  result_.evals_to_best = evaluations();
+}
+
+bool SearchContext::canonical_duplicate(const DmmConfig& cfg) {
+  if (canonical_seen_.insert(alloc::canonical(cfg)).second) return false;
+  ++result_.canonical_skips;
+  return true;
+}
+
+ExplorationResult SearchContext::finish() {
+  result_.feasible = tracker_.feasible();
+  result_.cross_search_hits =
+      cache_.session ? cache_.session->cross_search_hits() : 0;
+  result_.persisted_hits =
+      cache_.session ? cache_.session->persisted_hits() : 0;
+  return std::move(result_);
+}
+
+// ---------------------------------------------------------------------------
+// GreedySearch — the ordered traversal of Sec. 4.2
+// ---------------------------------------------------------------------------
+
+GreedySearch::GreedySearch(std::vector<TreeId> order)
+    : order_(std::move(order)) {}
+
+void GreedySearch::run(SearchContext& ctx) {
+  const ExplorerOptions& opts = ctx.options();
+  ExplorationResult& result = ctx.result();
+  DmmConfig cfg = opts.defaults;
+  DecidedMask decided{};
+  for (TreeId tree : order_) {
+    StepLog step;
+    step.tree = tree;
+    std::vector<EvalJob> jobs;
+    for (int leaf = 0; leaf < leaf_count(tree); ++leaf) {
+      CandidateScore cand;
+      cand.leaf = leaf;
+      cand.admissible =
+          Constraints::admissible(cfg, decided, tree, leaf, opts.prune_soft);
+      if (cand.admissible) {
+        DmmConfig probe = cfg;
+        set_leaf(probe, tree, leaf);
+        DecidedMask probe_decided = decided;
+        probe_decided[static_cast<std::size_t>(tree)] = true;
+        jobs.push_back({Constraints::repair(probe, probe_decided),
+                        static_cast<std::uint64_t>(leaf)});
+      }
+      step.candidates.push_back(cand);
+    }
+    const std::vector<EvalOutcome> outcomes = ctx.evaluate(jobs);
+    BestTracker best;
+    int best_leaf = -1;
+    for (const EvalOutcome& out : outcomes) {
+      CandidateScore& cand = step.candidates[out.tag];
+      cand.peak_footprint = out.sim.peak_footprint;
+      cand.avg_footprint = out.sim.avg_footprint;
+      cand.work_steps = out.work_steps;
+      cand.failed_allocs = out.sim.failed_allocs;
+      if (best.offer(opts, out)) best_leaf = static_cast<int>(out.tag);
+    }
+    if (best_leaf < 0) {
+      // No admissible leaf: keep the default (cannot happen with a
+      // coherent rule set; guarded for robustness).
+      best_leaf = get_leaf(cfg, tree);
+    }
+    set_leaf(cfg, tree, best_leaf);
+    decided[static_cast<std::size_t>(tree)] = true;
+    step.chosen = best_leaf;
+    result.steps.push_back(std::move(step));
+  }
+  const DmmConfig final_cfg = Constraints::repair(cfg, decided);
+  const std::vector<EvalOutcome> final_out = ctx.evaluate({{final_cfg, 0}});
+  ctx.set_best(final_cfg, final_out[0]);
+}
+
+// ---------------------------------------------------------------------------
+// BeamSearch — k partial vectors survive each tree
+// ---------------------------------------------------------------------------
+
+BeamSearch::BeamSearch(std::size_t width, std::vector<TreeId> order)
+    : width_(width == 0 ? 1 : width), order_(std::move(order)) {}
+
+std::string BeamSearch::name() const {
+  return "beam:" + std::to_string(width_);
+}
+
+void BeamSearch::run(SearchContext& ctx) {
+  const ExplorerOptions& opts = ctx.options();
+
+  // One surviving partial vector.  All beams decide the same trees in the
+  // same order, so the decided mask is shared per step and two beams are
+  // equal iff their cfgs are — and since every child extends a *distinct*
+  // parent with one more leaf, children are automatically distinct too.
+  struct Beam {
+    DmmConfig cfg{};
+    std::vector<StepLog> steps;
+  };
+  std::vector<Beam> beams(1);
+  beams[0].cfg = opts.defaults;
+  DecidedMask decided{};
+
+  for (TreeId tree : order_) {
+    // Expand every beam (in rank order) by every admissible leaf; one
+    // batch scores them all, so the accounting matches the greedy walk's
+    // one-batch-per-tree shape and width 1 is bit-identical to it.
+    struct Expansion {
+      std::size_t beam = 0;
+      int leaf = -1;
+      DmmConfig child{};
+    };
+    std::vector<Expansion> expansions;
+    std::vector<EvalJob> jobs;
+    std::vector<StepLog> beam_steps(beams.size());
+    for (std::size_t b = 0; b < beams.size(); ++b) {
+      StepLog& step = beam_steps[b];
+      step.tree = tree;
+      for (int leaf = 0; leaf < leaf_count(tree); ++leaf) {
+        CandidateScore cand;
+        cand.leaf = leaf;
+        cand.admissible = Constraints::admissible(beams[b].cfg, decided, tree,
+                                                  leaf, opts.prune_soft);
+        if (cand.admissible) {
+          DmmConfig child = beams[b].cfg;
+          set_leaf(child, tree, leaf);
+          DecidedMask probe_decided = decided;
+          probe_decided[static_cast<std::size_t>(tree)] = true;
+          // The child *is* the probe before repair: the partial vector
+          // with this leaf committed.
+          jobs.push_back({Constraints::repair(child, probe_decided),
+                          expansions.size()});
+          expansions.push_back({b, leaf, child});
+        }
+        step.candidates.push_back(cand);
+      }
+    }
+    const std::vector<EvalOutcome> outcomes = ctx.evaluate(jobs);
+    std::vector<const EvalOutcome*> scored(expansions.size(), nullptr);
+    for (const EvalOutcome& out : outcomes) {
+      const Expansion& e = expansions[out.tag];
+      CandidateScore& cand = beam_steps[e.beam].candidates[e.leaf];
+      cand.peak_footprint = out.sim.peak_footprint;
+      cand.avg_footprint = out.sim.avg_footprint;
+      cand.work_steps = out.work_steps;
+      cand.failed_allocs = out.sim.failed_allocs;
+      scored[out.tag] = &out;
+    }
+
+    // Rank by repeated left-fold extraction: winner #1 is exactly the
+    // greedy choice, winner #2 the fold's best over what remains, and so
+    // on.  (candidate_better's 1%-tie band is not a strict weak ordering,
+    // so a comparison sort would be UB — the fold never needs one.)
+    std::vector<std::size_t> ranked;
+    std::vector<bool> taken(expansions.size(), false);
+    while (ranked.size() < width_) {
+      BestTracker fold;
+      std::size_t win = expansions.size();
+      for (std::size_t i = 0; i < expansions.size(); ++i) {
+        if (taken[i] || scored[i] == nullptr) continue;
+        if (fold.offer(opts, *scored[i])) win = i;
+      }
+      if (win == expansions.size()) break;
+      taken[win] = true;
+      ranked.push_back(win);
+    }
+
+    std::vector<Beam> next;
+    next.reserve(ranked.size());
+    for (std::size_t idx : ranked) {
+      const Expansion& e = expansions[idx];
+      Beam child;
+      child.cfg = e.child;
+      child.steps = beams[e.beam].steps;
+      StepLog step = beam_steps[e.beam];
+      step.chosen = e.leaf;
+      child.steps.push_back(std::move(step));
+      next.push_back(std::move(child));
+    }
+    if (next.empty()) {
+      // No admissible leaf on any beam: keep each beam's default leaf
+      // (cannot happen with a coherent rule set; guarded like the greedy
+      // walk's fallback).
+      for (std::size_t b = 0; b < beams.size(); ++b) {
+        StepLog step = std::move(beam_steps[b]);
+        step.chosen = get_leaf(beams[b].cfg, tree);
+        beams[b].steps.push_back(std::move(step));
+      }
+      next = std::move(beams);
+    }
+    beams = std::move(next);
+    decided[static_cast<std::size_t>(tree)] = true;
+  }
+
+  // Final pass: score every surviving beam's repaired completion in rank
+  // order and crown the fold winner.  With width 1 this is the greedy
+  // walk's single final evaluation.
+  std::vector<EvalJob> final_jobs;
+  final_jobs.reserve(beams.size());
+  std::vector<DmmConfig> final_cfgs;
+  final_cfgs.reserve(beams.size());
+  for (std::size_t b = 0; b < beams.size(); ++b) {
+    final_cfgs.push_back(Constraints::repair(beams[b].cfg, decided));
+    final_jobs.push_back({final_cfgs.back(), b});
+  }
+  std::size_t winner = 0;
+  for (const EvalOutcome& out : ctx.evaluate(final_jobs)) {
+    if (ctx.offer_best(final_cfgs[out.tag], out)) winner = out.tag;
+  }
+  if (!beams.empty()) {
+    ctx.result().steps = std::move(beams[winner].steps);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ExhaustiveSearch — canonical-quotient odometer
+// ---------------------------------------------------------------------------
+
+ExhaustiveSearch::ExhaustiveSearch(std::vector<TreeId> trees,
+                                   std::size_t max_evals)
+    : trees_(std::move(trees)), max_evals_(max_evals) {}
+
+void ExhaustiveSearch::run(SearchContext& ctx) {
+  const ExplorerOptions& opts = ctx.options();
+  DecidedMask decided{};
+  for (TreeId t : trees_) decided[static_cast<std::size_t>(t)] = true;
+
+  std::vector<int> leaf(trees_.size(), 0);
+  std::uint64_t evaluations = 0;
+  bool done = false;
+  while (!done && evaluations < max_evals_) {
+    // Collect the next window of valid vectors, then score it as one batch.
+    std::vector<EvalJob> jobs;
+    std::vector<DmmConfig> cfgs;
+    while (!done && jobs.size() < kStreamBatch &&
+           evaluations + jobs.size() < max_evals_) {
+      DmmConfig cfg = opts.defaults;
+      for (std::size_t i = 0; i < trees_.size(); ++i) {
+        set_leaf(cfg, trees_[i], leaf[i]);
+      }
+      cfg = Constraints::repair(cfg, decided);
+      // Canonical quotient of the cartesian product: a vector whose
+      // repaired canonical form was already enumerated builds a
+      // behaviourally identical manager, so it is skipped before a job is
+      // built and never charged to the evaluation budget.
+      const bool valid =
+          passes_rules(opts, cfg) &&
+          !(opts.canonical_prune && ctx.canonical_duplicate(cfg));
+      if (valid) {
+        jobs.push_back({cfg, jobs.size()});
+        cfgs.push_back(cfg);
+      }
+      // odometer increment
+      std::size_t pos = 0;
+      for (;;) {
+        if (pos == trees_.size()) {
+          done = true;
+          break;
+        }
+        if (++leaf[pos] < leaf_count(trees_[pos])) break;
+        leaf[pos] = 0;
+        ++pos;
+      }
+    }
+    evaluations += jobs.size();
+    for (const EvalOutcome& out : ctx.evaluate(jobs)) {
+      (void)ctx.offer_best(cfgs[out.tag], out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RandomSearch — uniform full-vector sampling
+// ---------------------------------------------------------------------------
+
+RandomSearch::RandomSearch(std::size_t samples, unsigned seed)
+    : samples_(samples), seed_(seed) {}
+
+void RandomSearch::run(SearchContext& ctx) {
+  const ExplorerOptions& opts = ctx.options();
+  std::mt19937 rng(seed_);
+  // Budget = number of *evaluations* (replays + cache hits), matching the
+  // ordered traversal's accounting; invalid draws — and canonical
+  // duplicates under canonical_prune_random — are rejected without charge
+  // (bounded).
+  const std::size_t max_attempts = samples_ * 500 + 1000;
+  std::size_t attempts = 0;
+  std::uint64_t evaluations = 0;
+  while (attempts < max_attempts && evaluations < samples_) {
+    std::vector<EvalJob> jobs;
+    std::vector<DmmConfig> cfgs;
+    while (attempts < max_attempts && evaluations + jobs.size() < samples_ &&
+           jobs.size() < kStreamBatch) {
+      ++attempts;
+      DmmConfig cfg = opts.defaults;
+      for (TreeId t : all_trees()) {
+        set_leaf(cfg, t, uniform_leaf(rng, leaf_count(t)));
+      }
+      if (!passes_rules(opts, cfg)) continue;
+      if (opts.canonical_prune_random && ctx.canonical_duplicate(cfg)) {
+        continue;
+      }
+      jobs.push_back({cfg, jobs.size()});
+      cfgs.push_back(cfg);
+    }
+    evaluations += jobs.size();
+    for (const EvalOutcome& out : ctx.evaluate(jobs)) {
+      (void)ctx.offer_best(cfgs[out.tag], out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AnnealingSearch — deterministic SA over the canonical quotient
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Scalar energy SA minimises: the shared candidate objective for
+/// feasible vectors; infeasible ones sit beyond every feasible energy,
+/// ordered by how far from feasibility they are.
+double anneal_energy(const ExplorerOptions& opts, const EvalOutcome& out) {
+  const double obj = candidate_objective(opts, out.sim, out.work_steps);
+  if (std::isfinite(obj)) return obj;
+  return 1e30 + 1e24 * static_cast<double>(out.sim.failed_allocs);
+}
+
+}  // namespace
+
+AnnealingSearch::AnnealingSearch(AnnealingOptions opts) : anneal_(opts) {}
+
+void AnnealingSearch::run(SearchContext& ctx) {
+  const ExplorerOptions& opts = ctx.options();
+  std::mt19937 rng(anneal_.seed);
+
+  // Start state: the repaired defaults — with nothing decided, repair()
+  // completes them into a valid vector — mapped into the quotient.
+  const DecidedMask none{};
+  DmmConfig state = alloc::canonical(Constraints::repair(opts.defaults, none));
+  double energy;
+  {
+    const std::vector<EvalOutcome> out = ctx.evaluate({{state, 0}});
+    (void)ctx.offer_best(state, out[0]);
+    energy = anneal_energy(opts, out[0]);
+  }
+  double temp = anneal_.initial_temp * std::max(1.0, energy);
+  std::size_t since_cool = 0;
+
+  while (ctx.evaluations() < anneal_.max_evals) {
+    // Propose: mutate one tree to a different leaf, let repair() nudge
+    // only the trees a violated rule drags along (the mutated tree alone
+    // counts as decided, so e.g. flipping A5 pulls its schedules with it
+    // instead of dying on the A5<->E2/D2 coherence rules), then map into
+    // the quotient.  Dead-leaf mutations are canonical no-ops: skipped
+    // unscored, reported as canonical_skips.
+    DmmConfig next{};
+    bool found = false;
+    for (int attempt = 0; attempt < 256 && !found; ++attempt) {
+      DmmConfig probe = state;
+      const TreeId tree =
+          all_trees()[static_cast<std::size_t>(uniform_leaf(rng, kTreeCount))];
+      const int n = leaf_count(tree);
+      const int cur = get_leaf(probe, tree);
+      set_leaf(probe, tree, (cur + 1 + uniform_leaf(rng, n - 1)) % n);
+      DecidedMask mutated{};
+      mutated[static_cast<std::size_t>(tree)] = true;
+      probe = Constraints::repair(probe, mutated);
+      if (!passes_rules(opts, probe)) continue;
+      probe = alloc::canonical(probe);
+      if (probe == state) {
+        ++ctx.result().canonical_skips;
+        continue;
+      }
+      next = probe;
+      found = true;
+    }
+    if (!found) break;  // frozen: no admissible neighbour in 256 draws
+
+    const std::vector<EvalOutcome> out = ctx.evaluate({{next, 0}});
+    (void)ctx.offer_best(next, out[0]);
+    const double next_energy = anneal_energy(opts, out[0]);
+    const double delta = next_energy - energy;
+    bool accept = delta <= 0.0;
+    if (!accept && temp > 0.0) {
+      // Portable uniform in [0,1): mt19937's output sequence is fully
+      // specified, so the trajectory is identical on every stdlib.
+      const double u = std::ldexp(static_cast<double>(rng()), -32);
+      accept = u < std::exp(-delta / temp);
+    }
+    if (accept) {
+      state = next;
+      energy = next_energy;
+    }
+    if (++since_cool >= anneal_.moves_per_temp) {
+      since_cool = 0;
+      temp *= anneal_.cooling;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// strategy selection
+// ---------------------------------------------------------------------------
+
+const std::vector<TreeId>& high_impact_trees() {
+  static const std::vector<TreeId> kTrees = {TreeId::kA2, TreeId::kA5,
+                                             TreeId::kE2, TreeId::kD2,
+                                             TreeId::kB4, TreeId::kC1};
+  return kTrees;
+}
+
+namespace {
+
+/// Parses a whole non-negative number; nullopt on any other input,
+/// including values strtoull would clamp (a seed of 2^64 must be a
+/// rejected spec, not a silently different one).
+std::optional<std::uint64_t> parse_number(const std::string& s) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  errno = 0;
+  const std::uint64_t value = std::strtoull(s.c_str(), nullptr, 10);
+  if (errno == ERANGE) return std::nullopt;
+  return value;
+}
+
+/// A seed must round-trip through the `unsigned` the searchers take —
+/// truncating would hand two distinct seeds the same trajectory.
+std::optional<unsigned> parse_seed(const std::string& s) {
+  const auto value = parse_number(s);
+  if (!value || *value > std::numeric_limits<unsigned>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<unsigned>(*value);
+}
+
+}  // namespace
+
+std::optional<SearchSpec> parse_search_spec(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t colon = text.find(':', begin);
+    parts.push_back(text.substr(begin, colon - begin));
+    if (colon == std::string::npos) break;
+    begin = colon + 1;
+  }
+  SearchSpec spec;
+  if (parts[0] == "greedy") {
+    if (parts.size() != 1) return std::nullopt;
+    spec.kind = SearchSpec::Kind::kGreedy;
+  } else if (parts[0] == "beam") {
+    if (parts.size() != 2) return std::nullopt;
+    const auto width = parse_number(parts[1]);
+    if (!width || *width == 0) return std::nullopt;
+    spec.kind = SearchSpec::Kind::kBeam;
+    spec.beam_width = static_cast<std::size_t>(*width);
+  } else if (parts[0] == "anneal") {
+    if (parts.size() > 2) return std::nullopt;
+    if (parts.size() == 2) {
+      const auto seed = parse_seed(parts[1]);
+      if (!seed) return std::nullopt;
+      spec.anneal.seed = *seed;
+    }
+    spec.kind = SearchSpec::Kind::kAnneal;
+  } else if (parts[0] == "exhaustive") {
+    if (parts.size() != 1) return std::nullopt;
+    spec.kind = SearchSpec::Kind::kExhaustive;
+  } else if (parts[0] == "random") {
+    if (parts.size() > 3) return std::nullopt;
+    if (parts.size() >= 2) {
+      const auto n = parse_number(parts[1]);
+      if (!n || *n == 0) return std::nullopt;
+      spec.samples = static_cast<std::size_t>(*n);
+    }
+    if (parts.size() == 3) {
+      const auto seed = parse_seed(parts[2]);
+      if (!seed) return std::nullopt;
+      spec.seed = *seed;
+    }
+    spec.kind = SearchSpec::Kind::kRandom;
+  } else {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::unique_ptr<SearchStrategy> make_strategy(const SearchSpec& spec,
+                                              const std::vector<TreeId>& order,
+                                              const std::vector<TreeId>& trees) {
+  switch (spec.kind) {
+    case SearchSpec::Kind::kGreedy:
+      return std::make_unique<GreedySearch>(order);
+    case SearchSpec::Kind::kBeam:
+      return std::make_unique<BeamSearch>(spec.beam_width, order);
+    case SearchSpec::Kind::kAnneal:
+      return std::make_unique<AnnealingSearch>(spec.anneal);
+    case SearchSpec::Kind::kExhaustive:
+      return std::make_unique<ExhaustiveSearch>(trees, spec.max_evals);
+    case SearchSpec::Kind::kRandom:
+      return std::make_unique<RandomSearch>(spec.samples, spec.seed);
+  }
+  return std::make_unique<GreedySearch>(order);
+}
+
+}  // namespace dmm::core
