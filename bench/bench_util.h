@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -17,13 +18,26 @@
 
 namespace dmm::bench {
 
+/// Strict non-negative numeric argv parse shared with the example CLIs:
+/// core::parse_number rejects signs, garbage, trailing junk, and values
+/// strtoull would silently clamp, so a typo'd bench invocation is a usage
+/// error instead of a misleading JSON snapshot.
+inline std::size_t numeric_arg_or_die(const char* prog, const char* what,
+                                      const char* text) {
+  const auto value = core::parse_number(text);
+  if (!value || *value > std::numeric_limits<std::size_t>::max()) {
+    std::fprintf(stderr, "%s: %s must be a non-negative integer, got '%s'\n",
+                 prog, what, text);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(*value);
+}
+
 /// Optional argv[1] event cap shared by the trace-replaying benches
 /// (0 = full trace; full case-study traces replay for minutes per search
 /// on a 1-core box, a few thousand events keep a smoke run fast).
 inline std::size_t event_cap_arg(int argc, char** argv) {
-  return argc > 1
-             ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10))
-             : 0;
+  return argc > 1 ? numeric_arg_or_die(argv[0], "the event cap", argv[1]) : 0;
 }
 
 /// Command line of the JSON-emitting benches: an optional positional
@@ -62,8 +76,11 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
       args.cache_file = value("--cache-file");
     } else if (!arg.empty() && arg.find_first_not_of("0123456789") ==
                                    std::string::npos) {
-      args.max_events = static_cast<std::size_t>(
-          std::strtoull(arg.c_str(), nullptr, 10));
+      // The digits-only guard above routes garbage to the usage error;
+      // numeric_arg_or_die additionally rejects the overflow strtoull
+      // would have clamped to ULLONG_MAX without a word.
+      args.max_events =
+          numeric_arg_or_die(argv[0], "the event cap", arg.c_str());
     } else {
       std::fprintf(stderr,
                    "usage: %s [max_events] [--out PATH] [--cache-file PATH]\n",

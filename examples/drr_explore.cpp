@@ -11,14 +11,23 @@
 // decision vector.  A corrupt or stale-format snapshot is ignored (cold
 // start), never an error.
 //
-// Optional: --search greedy|beam:K|anneal|exhaustive|random picks the
-// search strategy for the walk and the design run (default: the paper's
-// greedy ordered traversal).
+// Optional: --search greedy|beam:K|anneal|exhaustive[:N]|random|
+// portfolio[:BUDGET]:CHILD+CHILD+... picks the search strategy for the
+// walk and the design run (default: the paper's greedy ordered traversal).
+//
+// Optional: --family T1,T2,... designs ONE decision vector for a whole
+// family of traces instead of the single profiled run — each element is
+// either a DRR traffic seed (digits) recorded in-process or a trace file
+// (anything else) written by trace_tool.  --aggregate max|wsum picks the
+// fold (worst-case peak vs equal-weight sum).  Family mode replaces the
+// single-trace walk below.
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "dmm/core/explorer.h"
 #include "dmm/core/methodology.h"
@@ -28,23 +37,152 @@
 #include "dmm/workloads/workload.h"
 #include "example_util.h"
 
+namespace {
+
+int family_usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--cache-file PATH] [--search SPEC] "
+               "[--family T1,T2,...] [--aggregate max|wsum]\n"
+               "  --family elements: a DRR traffic seed (digits only) or a "
+               "trace file path;\n  at least two traces make a family\n",
+               prog);
+  return 2;
+}
+
+/// Resolves one --family element: digits = a DRR traffic seed to record,
+/// anything else = a trace file to load.  Exits with a usage error on a
+/// malformed element instead of designing against a half-read family.
+dmm::core::AllocTrace family_trace(const char* prog, const std::string& token,
+                                   const dmm::workloads::Workload& drr) {
+  using namespace dmm;
+  if (token.find_first_not_of("0123456789") == std::string::npos) {
+    const unsigned seed =
+        examples::parse_unsigned_or_die(prog, "a --family seed", token);
+    return workloads::record_trace(drr, seed);
+  }
+  core::AllocTrace trace = core::AllocTrace::load(token);
+  std::string why;
+  if (trace.empty()) {
+    std::fprintf(stderr, "%s: --family trace '%s' is empty or unreadable\n",
+                 prog, token.c_str());
+    std::exit(2);
+  }
+  if (!trace.validate(&why)) {
+    std::fprintf(stderr, "%s: --family trace '%s' is malformed: %s\n", prog,
+                 token.c_str(), why.c_str());
+    std::exit(2);
+  }
+  return trace;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace dmm;
 
   std::string cache_file;
+  std::string family_list;
+  core::FamilyAggregate aggregate = core::FamilyAggregate::kMaxPeak;
+  bool aggregate_set = false;
   core::SearchSpec search;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cache-file") == 0 && i + 1 < argc) {
       cache_file = argv[++i];
     } else if (std::strncmp(argv[i], "--cache-file=", 13) == 0) {
       cache_file = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--family") == 0 && i + 1 < argc) {
+      family_list = argv[++i];
+    } else if (std::strncmp(argv[i], "--family=", 9) == 0) {
+      family_list = argv[i] + 9;
+    } else if ((std::strcmp(argv[i], "--aggregate") == 0 && i + 1 < argc) ||
+               std::strncmp(argv[i], "--aggregate=", 12) == 0) {
+      const std::string value = argv[i][11] == '=' ? argv[i] + 12 : argv[++i];
+      aggregate_set = true;
+      if (value == "max") {
+        aggregate = core::FamilyAggregate::kMaxPeak;
+      } else if (value == "wsum") {
+        aggregate = core::FamilyAggregate::kWeightedSum;
+      } else {
+        std::fprintf(stderr, "unknown --aggregate value '%s' (want max or "
+                             "wsum)\n",
+                     value.c_str());
+        return 2;
+      }
     } else if (examples::consume_search_flag(argc, argv, &i, &search)) {
       // parsed into `search`
     } else {
-      std::fprintf(stderr, "usage: %s [--cache-file PATH] [--search SPEC]\n",
-                   argv[0]);
-      return 2;
+      return family_usage(argv[0]);
     }
+  }
+
+  if (aggregate_set && family_list.empty()) {
+    // Silently running a single-trace walk after the user asked for a
+    // family fold would misreport what was designed.
+    std::fprintf(stderr, "%s: --aggregate only applies to --family runs\n",
+                 argv[0]);
+    return family_usage(argv[0]);
+  }
+
+  if (!family_list.empty()) {
+    // --- family mode: one vector for a set of traces ---------------------
+    const workloads::Workload& drr_workload = workloads::case_study("drr");
+    std::vector<core::AllocTrace> traces;
+    std::vector<std::string> labels;
+    std::size_t begin = 0;
+    for (;;) {
+      const std::size_t comma = family_list.find(',', begin);
+      const std::string token = family_list.substr(begin, comma - begin);
+      if (token.empty()) {
+        std::fprintf(stderr, "%s: --family has an empty element\n", argv[0]);
+        return family_usage(argv[0]);
+      }
+      labels.push_back(token);
+      traces.push_back(family_trace(argv[0], token, drr_workload));
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
+    if (traces.size() < 2) {
+      std::fprintf(stderr, "%s: a family needs at least two traces\n",
+                   argv[0]);
+      return family_usage(argv[0]);
+    }
+
+    std::printf("== DRR family design: %zu traces ==\n", traces.size());
+    core::FamilyDesignOptions fopts;
+    fopts.aggregate = aggregate;
+    fopts.explorer_options.num_threads = 0;
+    // No cache injected: design_manager_family creates a private
+    // run-scoped one (and loads/saves cache_file into it when set).
+    fopts.explorer_options.search = search;
+    fopts.cache_file = cache_file;
+    const core::FamilyDesignResult family =
+        core::design_manager_family(traces, fopts);
+    std::printf("aggregate objective (%s): %.0f, best found at family "
+                "evaluation %llu (%llu member replays, %llu member cache "
+                "hits, %llu whole-family cache hits)\n",
+                aggregate == core::FamilyAggregate::kMaxPeak ? "max-peak"
+                                                             : "weighted-sum",
+                family.aggregate_objective,
+                static_cast<unsigned long long>(family.search.evals_to_best),
+                static_cast<unsigned long long>(family.search.simulations),
+                static_cast<unsigned long long>(family.search.cache_hits),
+                static_cast<unsigned long long>(family.search.family_hits));
+    for (const core::ChildSearchReport& child : family.search.children) {
+      std::printf("  portfolio child %-14s %6llu evals%s\n",
+                  child.name.c_str(),
+                  static_cast<unsigned long long>(child.evaluations),
+                  child.found_best ? "   <= found the best" : "");
+    }
+    std::printf("\nfamily decision vector:\n%s\n",
+                alloc::describe(family.best).c_str());
+    std::printf("per-trace breakdown:\n");
+    for (std::size_t i = 0; i < family.per_trace.size(); ++i) {
+      const core::FamilyTraceReport& r = family.per_trace[i];
+      std::printf("  %-20s peak %9zu B  avg %9.0f B  %s\n", labels[i].c_str(),
+                  r.sim.peak_footprint, r.sim.avg_footprint,
+                  r.feasible() ? "feasible" : "INFEASIBLE");
+    }
+    return family.feasible ? 0 : 1;
   }
 
   std::printf("== DRR case study: profile ==\n");

@@ -7,10 +7,29 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <string>
 
 #include "dmm/core/search.h"
 
 namespace dmm::examples {
+
+/// Strict bounded parse of an unsigned CLI value (seeds): digits only via
+/// core::parse_number — rejecting signs, garbage, and overflow the old
+/// atoi casts silently mangled — and it must round-trip through
+/// `unsigned`.  One uniform error message and exit(2) for every example
+/// binary.
+inline unsigned parse_unsigned_or_die(const char* prog, const char* what,
+                                      const std::string& text) {
+  const auto value = core::parse_number(text);
+  if (!value || *value > std::numeric_limits<unsigned>::max()) {
+    std::fprintf(stderr, "%s: %s must be an integer in [0, %u], got '%s'\n",
+                 prog, what, std::numeric_limits<unsigned>::max(),
+                 text.c_str());
+    std::exit(2);
+  }
+  return static_cast<unsigned>(*value);
+}
 
 /// If argv[*i] is `--search SPEC` or `--search=SPEC`, parses it into
 /// @p spec (advancing *i past a separate value) and returns true.  An
@@ -30,7 +49,8 @@ inline bool consume_search_flag(int argc, char** argv, int* i,
   if (!parsed) {
     std::fprintf(stderr,
                  "unknown --search value '%s' (want greedy, beam:K, "
-                 "anneal[:SEED], exhaustive, or random[:N[:SEED]])\n",
+                 "anneal[:SEED], exhaustive[:N], random[:N[:SEED]], or "
+                 "portfolio[:BUDGET]:CHILD+CHILD+...)\n",
                  text);
     std::exit(2);
   }

@@ -4,8 +4,9 @@
 // what the application actually computed (recovered displacements).
 //
 // Build & run:  ./build/examples/recon_explore [--search SPEC]
-// --search greedy|beam:K|anneal|exhaustive|random picks the per-phase
-// design strategy (default: the paper's greedy ordered traversal).
+// --search greedy|beam:K|anneal|exhaustive[:N]|random|
+// portfolio[:BUDGET]:CHILD+CHILD+... picks the per-phase design strategy
+// (default: the paper's greedy ordered traversal).
 
 #include <cstdio>
 

@@ -4,8 +4,9 @@
 // Lea, Kingsley and the stack-optimised Obstacks.
 //
 // Build & run:  ./build/examples/render_explore [--search SPEC]
-// --search greedy|beam:K|anneal|exhaustive|random picks the per-phase
-// design strategy (default: the paper's greedy ordered traversal).
+// --search greedy|beam:K|anneal|exhaustive[:N]|random|
+// portfolio[:BUDGET]:CHILD+CHILD+... picks the per-phase design strategy
+// (default: the paper's greedy ordered traversal).
 
 #include <cstdio>
 

@@ -17,6 +17,7 @@
 #include "dmm/core/phase.h"
 #include "dmm/managers/registry.h"
 #include "dmm/workloads/workload.h"
+#include "example_util.h"
 
 namespace {
 
@@ -111,8 +112,13 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   if (cmd == "record" && argc == 5) {
-    return cmd_record(argv[2], static_cast<unsigned>(std::atoi(argv[3])),
-                      argv[4]);
+    // Strict digits-only parse (the same one parse_search_spec uses):
+    // atoi-cast-to-unsigned turned "-1" into 4294967295 and "abc" into
+    // seed 0 — both silently recording a different trace than asked for.
+    return cmd_record(
+        argv[2],
+        examples::parse_unsigned_or_die(argv[0], "the record seed", argv[3]),
+        argv[4]);
   }
   if (cmd == "stats" && argc == 3) return cmd_stats(argv[2]);
   if (cmd == "phases" && argc == 3) return cmd_phases(argv[2]);

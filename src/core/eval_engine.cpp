@@ -1,5 +1,7 @@
 #include "dmm/core/eval_engine.h"
 
+#include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "dmm/alloc/custom_manager.h"
@@ -111,6 +113,79 @@ void SharedScoreCache::clear() {
     const std::lock_guard<std::mutex> lock(shard->m);
     shard->map.clear();
   }
+}
+
+namespace {
+
+/// FNV-1a over the 8 little-endian bytes of @p v (the same hash family
+/// AllocTrace::fingerprint uses, so family and trace fingerprints live in
+/// one well-mixed identifier space).
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xffu;
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t family_fingerprint(const std::vector<FamilyEvalMember>& members,
+                                 FamilyAggregate aggregate) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(aggregate));
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(members.size()));
+  for (const FamilyEvalMember& m : members) {
+    h = fnv1a_u64(h, m.fingerprint);
+    std::uint64_t weight_bits = 0;
+    std::memcpy(&weight_bits, &m.weight, sizeof(weight_bits));
+    h = fnv1a_u64(h, weight_bits);
+  }
+  return h;
+}
+
+EvalOutcome aggregate_family(std::uint64_t tag,
+                             const std::vector<EvalOutcome>& member_outcomes,
+                             const std::vector<FamilyEvalMember>& members,
+                             FamilyAggregate aggregate) {
+  EvalOutcome agg;
+  agg.tag = tag;
+  agg.from_cache = true;
+  double peak = 0.0;
+  double final_fp = 0.0;
+  double avg = 0.0;
+  double live = 0.0;
+  for (std::size_t m = 0; m < member_outcomes.size(); ++m) {
+    const EvalOutcome& out = member_outcomes[m];
+    const double w = aggregate == FamilyAggregate::kWeightedSum
+                         ? members[m].weight
+                         : 1.0;
+    if (aggregate == FamilyAggregate::kMaxPeak) {
+      peak = std::max(peak, static_cast<double>(out.sim.peak_footprint));
+      final_fp =
+          std::max(final_fp, static_cast<double>(out.sim.final_footprint));
+      avg = std::max(avg, out.sim.avg_footprint);
+      live = std::max(live, static_cast<double>(out.sim.peak_live_bytes));
+    } else {
+      peak += w * static_cast<double>(out.sim.peak_footprint);
+      final_fp += w * static_cast<double>(out.sim.final_footprint);
+      avg += w * out.sim.avg_footprint;
+      live += w * static_cast<double>(out.sim.peak_live_bytes);
+    }
+    // Cross-aggregate invariants: a vector is feasible iff it is feasible
+    // on every member, and work/events/wall are totals either way.
+    agg.sim.failed_allocs += out.sim.failed_allocs;
+    agg.sim.events += out.sim.events;
+    agg.sim.wall_seconds += out.sim.wall_seconds;
+    agg.work_steps += out.work_steps;
+    agg.from_cache = agg.from_cache && out.from_cache;
+  }
+  agg.sim.peak_footprint = static_cast<std::size_t>(peak);
+  agg.sim.final_footprint = static_cast<std::size_t>(final_fp);
+  agg.sim.avg_footprint = avg;
+  agg.sim.peak_live_bytes = static_cast<std::size_t>(live);
+  return agg;
 }
 
 EvalOutcome score_candidate(const AllocTrace& trace, const EvalJob& job) {

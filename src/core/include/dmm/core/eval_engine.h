@@ -227,6 +227,58 @@ class SharedScoreCache {
 [[nodiscard]] EvalOutcome score_candidate(const AllocTrace& trace,
                                           const EvalJob& job);
 
+// ---------------------------------------------------------------------------
+// Multi-trace family evaluation: score one decision vector against a *set*
+// of traces instead of overfitting it to a single profiled run.  The engine
+// still only ever replays (trace, cfg) pairs — a family evaluation is one
+// EvalJob scored against every member and folded by an aggregate objective,
+// so every member replay lands in (and is served from) the same per-trace
+// score-cache entries the single-trace searches use.
+// ---------------------------------------------------------------------------
+
+/// How the per-member scores of one candidate fold into a single objective.
+enum class FamilyAggregate : std::uint8_t {
+  /// Worst case across the family: peak/avg/final footprints are the
+  /// element-wise maximum over members (weights are ignored).  The designed
+  /// vector must be provisioned for whichever input mix is hungriest.
+  kMaxPeak,
+  /// Expected case: footprints are the weighted sum over members (weights
+  /// default to 1.0, i.e. a plain sum).  Failed allocations, work, events,
+  /// and wall time always sum — feasibility means feasible on *every*
+  /// member under either aggregate.
+  kWeightedSum,
+};
+
+/// One trace of a family evaluation.  The fingerprint is the member's
+/// AllocTrace::fingerprint, cached by the caller (it keys the per-trace
+/// score-cache entries the member's replays share with single-trace
+/// searches over the same trace).
+struct FamilyEvalMember {
+  std::shared_ptr<const AllocTrace> trace;
+  std::uint64_t fingerprint = 0;
+  double weight = 1.0;  ///< kWeightedSum only
+};
+
+/// Identity of a trace *set* for score caching: FNV-1a over the member
+/// fingerprints (in order), their weight bit patterns, and the aggregate
+/// kind.  Aggregated family scores are cached under this fingerprint in the
+/// same SharedScoreCache that holds the per-member entries — a different
+/// member set, order, weighting, or aggregate never collides, and the
+/// snapshot format is unchanged (a family entry is an ordinary
+/// fingerprint x canonical-vector record, so kSnapshotVersion needs no
+/// bump).
+[[nodiscard]] std::uint64_t family_fingerprint(
+    const std::vector<FamilyEvalMember>& members, FamilyAggregate aggregate);
+
+/// Folds one candidate's per-member outcomes (one per member, in member
+/// order) into the aggregate outcome described by @p aggregate.  The fold
+/// is a fixed-order left-to-right pass, so the result is bit-identical
+/// regardless of how the member replays were scheduled.  `from_cache` is
+/// true iff every member outcome was served from a cache.
+[[nodiscard]] EvalOutcome aggregate_family(
+    std::uint64_t tag, const std::vector<EvalOutcome>& member_outcomes,
+    const std::vector<FamilyEvalMember>& members, FamilyAggregate aggregate);
+
 /// The seam every evaluation backend plugs into: the Explorer submits
 /// batches of independent candidate evaluations and gets outcomes back
 /// *in job order*, bit-identical across engines.

@@ -82,6 +82,89 @@ struct MethodologyResult {
 [[nodiscard]] MethodologyResult design_manager(
     const AllocTrace& trace, const MethodologyOptions& options = {});
 
+// ---------------------------------------------------------------------------
+// Family design: one decision vector for a *set* of traces.  The paper
+// designs one custom manager from a single profiled run; a deployed
+// manager serves whatever input mix the application actually sees, so the
+// family mode searches the same decision space against every trace at once
+// (see FamilyAggregate for the fold) instead of overfitting to one.
+// ---------------------------------------------------------------------------
+
+/// Options of a design_manager_family() run.
+struct FamilyDesignOptions {
+  /// Steers the one family-wide search: `search` picks the strategy (the
+  /// same SearchSpec grammar as the CLIs' --search flag, portfolios
+  /// included), `shared_cache` lets the run ride and feed a cross-search
+  /// score cache (per-trace member entries are shared with single-trace
+  /// searches over the same traces).  In family mode an evaluation budget
+  /// (anneal/random/exhaustive/portfolio budgets) is counted in *family*
+  /// evaluations — one per candidate, however many member traces it
+  /// replays.
+  ExplorerOptions explorer_options{};
+  /// Traversal order of ordered strategies (defaults to the published one).
+  std::vector<TreeId> order = paper_order();
+  /// Subspace an exhaustive strategy/child enumerates.
+  std::vector<TreeId> validation_trees = high_impact_trees();
+  /// How per-trace scores fold into the objective the search minimises.
+  FamilyAggregate aggregate = FamilyAggregate::kMaxPeak;
+  /// kWeightedSum member weights; empty = 1.0 each.  Anything else must
+  /// match the trace count (std::invalid_argument otherwise).
+  std::vector<double> weights;
+  /// Extra candidate vectors scored on the aggregate after the search and
+  /// offered to the incumbent — seeding with each trace's solo-designed
+  /// best guarantees the family result is never worse (beyond the
+  /// comparator's 1% tie band) than deploying any one of them family-wide.
+  /// Offered after the search, not before: an ordered walk crowns its own
+  /// completion and would clobber a pre-offered seed.
+  std::vector<alloc::DmmConfig> seed_candidates;
+  /// Persist the run's shared score cache across processes (same contract
+  /// as MethodologyOptions::cache_file): loaded once up front, saved once
+  /// at the end — and on the failure path — with rejected snapshots
+  /// meaning a cold start, never an error.
+  std::string cache_file;
+};
+
+/// How the family-designed vector behaves on one member trace.
+struct FamilyTraceReport {
+  std::uint64_t fingerprint = 0;  ///< AllocTrace::fingerprint of the member
+  SimResult sim{};                ///< the family vector replayed on it
+  std::uint64_t work_steps = 0;
+  [[nodiscard]] bool feasible() const { return sim.failed_allocs == 0; }
+};
+
+/// Everything design_manager_family() produces.
+struct FamilyDesignResult {
+  /// The one vector designed for the whole family.
+  alloc::DmmConfig best{};
+  /// Feasible on *every* member trace.
+  bool feasible = false;
+  /// The aggregate objective of `best` (candidate_objective over the
+  /// folded outcome: worst-case peak under kMaxPeak, weighted-sum peak
+  /// under kWeightedSum).
+  double aggregate_objective = 0.0;
+  /// Index into FamilyDesignOptions::seed_candidates of the seed that
+  /// ended up as `best`, or -1 when the search's own result won.  When a
+  /// seed wins, the search log's per-child attribution and step log are
+  /// cleared — no child found the best.
+  int best_seed = -1;
+  /// The family-space search log: accounting counts *member* replays and
+  /// hits, evals_to_best counts family evaluations, and `children` carries
+  /// portfolio attribution when the strategy was one.
+  ExplorationResult search;
+  /// Per-member breakdown of `best`, in trace order.
+  std::vector<FamilyTraceReport> per_trace;
+};
+
+/// Designs one decision vector for the whole trace family: every candidate
+/// is scored on every trace and folded by options.aggregate, so the winner
+/// is the vector that serves the *family* best, not any single profile.
+/// Phases are not split in family mode — the result is one atomic manager.
+/// Throws std::invalid_argument on an empty family or a weight list whose
+/// size does not match the trace count.
+[[nodiscard]] FamilyDesignResult design_manager_family(
+    const std::vector<AllocTrace>& traces,
+    const FamilyDesignOptions& options = {});
+
 }  // namespace dmm::core
 
 #endif  // DMM_CORE_METHODOLOGY_H

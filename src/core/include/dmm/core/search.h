@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <random>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -47,17 +48,28 @@ struct AnnealingOptions {
 };
 
 /// Parsed strategy selection, the CLI's `--search` value:
-///   greedy | beam:K | anneal[:SEED] | exhaustive | random[:N[:SEED]]
+///   greedy | beam:K | anneal[:SEED] | exhaustive[:N] | random[:N[:SEED]]
+///   | portfolio[:BUDGET]:CHILD+CHILD[+CHILD...]
 /// Ordered strategies (greedy, beam) traverse the order the caller passes
 /// to make_strategy(); exhaustive enumerates the caller's tree subspace.
+/// A portfolio composes child specs (any non-portfolio form, '+'-separated)
+/// raced round-robin against one shared score cache; the optional BUDGET
+/// caps the portfolio's total evaluations (children also honour their own
+/// budgets, e.g. `random:500`'s sample count).
 struct SearchSpec {
-  enum class Kind { kGreedy, kBeam, kAnneal, kExhaustive, kRandom };
+  enum class Kind { kGreedy, kBeam, kAnneal, kExhaustive, kRandom,
+                    kPortfolio };
   Kind kind = Kind::kGreedy;
   std::size_t beam_width = 2;      ///< kBeam
   AnnealingOptions anneal{};       ///< kAnneal
   std::size_t max_evals = 100000;  ///< kExhaustive budget
   std::size_t samples = 200;       ///< kRandom budget
   unsigned seed = 1;               ///< kRandom seed
+  /// kPortfolio: the raced child specs (never kPortfolio themselves) and
+  /// the overall evaluation budget (0 = unlimited: every child runs to its
+  /// own budget or natural end).
+  std::vector<SearchSpec> children;
+  std::size_t portfolio_budget = 0;
 };
 
 /// Options steering the search (paper Sec. 4/5).
@@ -142,6 +154,20 @@ struct StepLog {
   std::vector<CandidateScore> candidates;
 };
 
+/// Per-child attribution of a portfolio run: what one raced child strategy
+/// consumed and whether the portfolio's final best was recorded during one
+/// of its turns.
+struct ChildSearchReport {
+  std::string name;                ///< child strategy name ("beam:4", ...)
+  /// Budget charges this child consumed: one per candidate it had scored
+  /// (== simulations + cache_hits in single-trace mode; in family mode a
+  /// candidate is one charge however many member traces it replays).
+  std::uint64_t evaluations = 0;
+  std::uint64_t simulations = 0;   ///< trace replays it actually paid for
+  std::uint64_t cache_hits = 0;    ///< evaluations a score cache answered
+  bool found_best = false;         ///< the final best came from this child
+};
+
 /// Outcome of a search over the decision space.
 struct ExplorationResult {
   alloc::DmmConfig best{};
@@ -161,6 +187,11 @@ struct ExplorationResult {
   /// replayed (ExplorerOptions::cache_file / SharedScoreCache::load);
   /// disjoint from cross_search_hits.
   std::uint64_t persisted_hits = 0;
+  /// Family mode only: evaluations served *whole* from the aggregate-level
+  /// cache (keyed by the trace-set fingerprint) — counted in candidates,
+  /// not member touches, and disjoint from cache_hits, which stays in
+  /// per-member units.  Always 0 in single-trace mode.
+  std::uint64_t family_hits = 0;
   /// Vectors skipped as canonical duplicates of an already-seen one:
   /// exhaustive() under canonical_prune, random_search() under
   /// canonical_prune_random, and annealing proposals that mutated a dead
@@ -172,6 +203,10 @@ struct ExplorationResult {
   /// "evals-to-best".  Streaming searches improve mid-run; ordered walks
   /// commit their completion only at the end, so theirs equals the total.
   std::uint64_t evals_to_best = 0;
+  /// Per-child attribution of a PortfolioSearch run, in child order
+  /// (empty for every other strategy).  `steps` holds the winning child's
+  /// ordered-walk log when that child is an ordered strategy.
+  std::vector<ChildSearchReport> children;
 };
 
 /// Lexicographic candidate comparison shared by every search mode: primary
@@ -229,31 +264,58 @@ struct BestTracker {
 ///
 /// A context is single-use and single-threaded, like the search call that
 /// owns it (parallelism lives inside the engine).
+///
+/// A context evaluates against either ONE trace (the classic constructor)
+/// or a *family* of traces: in family mode every job is scored on every
+/// member (each member evaluation rides the per-trace score-cache entries
+/// single-trace searches share) and folded by the configured aggregate,
+/// with the aggregated score itself cached under family_fingerprint().
+/// One family evaluation charges ONE evaluation to the budget
+/// (evaluations()).  Accounting units: simulations/cache_hits count
+/// per-member replays and hits; a candidate served whole from the
+/// aggregate-level cache skips its member evaluations entirely and is
+/// counted (in candidates) as ExplorationResult::family_hits instead —
+/// so a warm family run reports fewer member touches than a cold one,
+/// but never a different result.
 class SearchContext {
  public:
   SearchContext(const AllocTrace& trace, std::uint64_t trace_fingerprint,
                 const ExplorerOptions& opts, EvalEngine& engine);
+  /// Family mode: @p family must be non-empty; member fingerprints are the
+  /// members' AllocTrace::fingerprint values.
+  SearchContext(std::vector<FamilyEvalMember> family,
+                FamilyAggregate aggregate, const ExplorerOptions& opts,
+                EvalEngine& engine);
 
   [[nodiscard]] const ExplorerOptions& options() const { return opts_; }
-  [[nodiscard]] const AllocTrace& trace() const { return trace_; }
+  /// Single-trace mode: the trace; family mode: the first member.
+  [[nodiscard]] const AllocTrace& trace() const {
+    return trace_ != nullptr ? *trace_ : *family_[0].trace;
+  }
 
   /// Scores a batch through the engine and cache; outcomes come back in
   /// job order, replays/hits charged to the result.
   [[nodiscard]] std::vector<EvalOutcome> evaluate(
       const std::vector<EvalJob>& jobs);
 
-  /// Evaluations charged so far (replays + cache hits) — the budget every
-  /// streaming strategy meters against.
-  [[nodiscard]] std::uint64_t evaluations() const {
-    return result_.simulations + result_.cache_hits;
-  }
+  /// Evaluations charged so far — the budget every streaming strategy
+  /// meters against.  One charge per scored candidate: replay-or-hit in
+  /// single-trace mode, one whole-family fold in family mode.
+  [[nodiscard]] std::uint64_t evaluations() const { return charged_; }
 
   /// Offers a scored full vector to the incumbent (left fold over calls);
   /// true iff it displaced the best, which records cfg/sim/work.
   bool offer_best(const alloc::DmmConfig& cfg, const EvalOutcome& out);
 
   /// Unconditionally crowns @p cfg (an ordered walk's final completion).
+  /// Under set_competitive() the crowning is demoted to an offer_best()
+  /// so a portfolio child cannot clobber a better sibling result.
   void set_best(const alloc::DmmConfig& cfg, const EvalOutcome& out);
+
+  /// Racing mode (PortfolioSearch): strategies that unconditionally crown
+  /// their completion (the ordered walks) instead *offer* it against the
+  /// shared incumbent.
+  void set_competitive(bool competitive) { competitive_ = competitive; }
 
   /// True (and counts a canonical_skip) iff @p cfg's canonical form was
   /// already recorded this search; records it otherwise.
@@ -277,12 +339,24 @@ class SearchContext {
     CacheBinding(const ExplorerOptions& opts, std::uint64_t trace_fingerprint);
   };
 
-  const AllocTrace& trace_;
+  [[nodiscard]] std::vector<EvalOutcome> evaluate_family(
+      const std::vector<EvalJob>& jobs);
+
+  const AllocTrace* trace_ = nullptr;  ///< single-trace mode; else family_
+  std::vector<FamilyEvalMember> family_;
+  FamilyAggregate aggregate_ = FamilyAggregate::kMaxPeak;
   const ExplorerOptions& opts_;
   EvalEngine& engine_;
+  /// Single-trace mode: the one score-cache binding.  Family mode: the
+  /// *aggregate-level* binding, keyed by family_fingerprint().
   CacheBinding cache_;
+  /// Family mode only: one binding per member, keyed by that member's
+  /// trace fingerprint — the entries single-trace searches share.
+  std::vector<std::unique_ptr<CacheBinding>> member_caches_;
   BestTracker tracker_;
   ExplorationResult result_;
+  std::uint64_t charged_ = 0;
+  bool competitive_ = false;
   std::unordered_set<alloc::DmmConfig, alloc::DmmConfigHash> canonical_seen_;
 };
 
@@ -298,6 +372,25 @@ class SearchStrategy {
   [[nodiscard]] virtual std::string name() const = 0;
 
   virtual void run(SearchContext& ctx) = 0;
+
+  /// Discards any in-progress step() state so the next step() starts a
+  /// fresh search.  run() implementations call this on entry; a driver
+  /// stepping strategies directly (PortfolioSearch) calls it once up
+  /// front.  No-op for strategies without resumable state.
+  virtual void reset() {}
+
+  /// Incremental execution for drivers that interleave strategies: charge
+  /// at most @p eval_budget more evaluations against @p ctx (and never
+  /// more than the strategy's own remaining budget), then return true iff
+  /// the search can still make progress.  The streaming strategies
+  /// (exhaustive, random, annealing) pause and resume exactly; ordered
+  /// walks are indivisible, so the default completes run() in the first
+  /// step — possibly overshooting the slice — and returns false.
+  virtual bool step(SearchContext& ctx, std::size_t eval_budget) {
+    (void)eval_budget;
+    run(ctx);
+    return false;
+  }
 };
 
 /// The paper's greedy ordered traversal (Sec. 4.2): decide trees in order,
@@ -339,10 +432,17 @@ class ExhaustiveSearch final : public SearchStrategy {
   ExhaustiveSearch(std::vector<TreeId> trees, std::size_t max_evals);
   [[nodiscard]] std::string name() const override { return "exhaustive"; }
   void run(SearchContext& ctx) override;
+  void reset() override { begun_ = false; }
+  bool step(SearchContext& ctx, std::size_t eval_budget) override;
 
  private:
   std::vector<TreeId> trees_;
   std::size_t max_evals_;
+  // step() state: the odometer position and the budget already charged.
+  bool begun_ = false;
+  bool done_ = false;
+  std::vector<int> leaf_;
+  std::uint64_t charged_ = 0;
 };
 
 /// Uniform random sampling of full decision vectors (invalid draws are
@@ -353,10 +453,17 @@ class RandomSearch final : public SearchStrategy {
   RandomSearch(std::size_t samples, unsigned seed);
   [[nodiscard]] std::string name() const override { return "random"; }
   void run(SearchContext& ctx) override;
+  void reset() override { begun_ = false; }
+  bool step(SearchContext& ctx, std::size_t eval_budget) override;
 
  private:
   std::size_t samples_;
   unsigned seed_;
+  // step() state: the draw stream position and the budget already charged.
+  bool begun_ = false;
+  std::mt19937 rng_;
+  std::size_t attempts_ = 0;
+  std::uint64_t charged_ = 0;
 };
 
 /// Seeded, deterministic simulated annealing over the canonical quotient.
@@ -377,23 +484,82 @@ class AnnealingSearch final : public SearchStrategy {
   explicit AnnealingSearch(AnnealingOptions opts = {});
   [[nodiscard]] std::string name() const override { return "anneal"; }
   void run(SearchContext& ctx) override;
+  void reset() override { begun_ = false; }
+  bool step(SearchContext& ctx, std::size_t eval_budget) override;
 
  private:
   AnnealingOptions anneal_;
+  // step() state: the SA trajectory (state/energy/temperature/rng) and the
+  // budget already charged.
+  bool begun_ = false;
+  bool frozen_ = false;
+  std::mt19937 rng_;
+  alloc::DmmConfig state_{};
+  double energy_ = 0.0;
+  double temp_ = 0.0;
+  std::size_t since_cool_ = 0;
+  std::uint64_t charged_ = 0;
 };
 
 /// The high-impact subspace the exhaustive validator enumerates by
 /// default (also MethodologyOptions::validation_trees' default).
 [[nodiscard]] const std::vector<TreeId>& high_impact_trees();
 
+/// Races several child strategies against one SearchContext — one shared
+/// score cache, one shared canonical seen-set, one shared incumbent (the
+/// context runs in competitive mode, so an ordered child's final crowning
+/// is an *offer*, never a clobber).  The overall evaluation budget is
+/// dealt in round-robin slices of kSliceEvals: each alive child in turn
+/// steps for at most one slice (streaming children pause and resume
+/// exactly; ordered walks are indivisible and complete in their first
+/// turn, overshooting the slice by their natural cost) until the budget is
+/// spent or every child has finished its own budget.  The schedule is a
+/// pure function of (specs, budget), so portfolio results are bit-identical
+/// across thread counts and cache scopes.  Per-child consumption and which
+/// child produced the final best are reported in
+/// ExplorationResult::children.
+class PortfolioSearch final : public SearchStrategy {
+ public:
+  /// The evaluation slice one child is dealt per round-robin turn.
+  static constexpr std::size_t kSliceEvals = 64;
+
+  /// @param children  child specs (must not be portfolios themselves —
+  ///                  parse_search_spec never produces nested ones).
+  /// @param budget    overall evaluation budget; 0 = unlimited (children
+  ///                  stop at their own budgets / natural ends).
+  explicit PortfolioSearch(std::vector<SearchSpec> children,
+                           std::size_t budget = 0,
+                           std::vector<TreeId> order = paper_order(),
+                           std::vector<TreeId> trees = high_impact_trees());
+  [[nodiscard]] std::string name() const override;
+  void run(SearchContext& ctx) override;
+
+ private:
+  std::vector<std::unique_ptr<SearchStrategy>> children_;
+  std::size_t budget_;
+};
+
+/// Strict digits-only parse of a whole non-negative number, shared by the
+/// spec grammar and the CLIs/benches: nullopt on empty input, any
+/// non-digit character (signs, whitespace, hex, trailing junk), and on
+/// values that overflow uint64 — where strtoull would silently clamp to
+/// ULLONG_MAX and atoi would return garbage.
+[[nodiscard]] std::optional<std::uint64_t> parse_number(
+    const std::string& text);
+
 /// Parses a `--search` value; nullopt (with no side effects) on syntax or
 /// range errors.  Accepted forms: "greedy", "beam:K" (K >= 1), "anneal",
-/// "anneal:SEED", "exhaustive", "random", "random:N", "random:N:SEED".
+/// "anneal:SEED", "exhaustive", "exhaustive:N" (N >= 1 caps the
+/// enumeration budget), "random", "random:N", "random:N:SEED", and
+/// "portfolio[:BUDGET]:CHILD+CHILD[+CHILD...]" where each CHILD is any
+/// non-portfolio form and BUDGET (>= 1) caps the portfolio's total
+/// evaluations.
 [[nodiscard]] std::optional<SearchSpec> parse_search_spec(
     const std::string& text);
 
 /// Builds the strategy @p spec names.  @p order steers the ordered
-/// strategies (greedy, beam); @p trees is the exhaustive subspace.
+/// strategies (greedy, beam); @p trees is the exhaustive subspace.  Both
+/// are forwarded to every child of a portfolio spec.
 [[nodiscard]] std::unique_ptr<SearchStrategy> make_strategy(
     const SearchSpec& spec, const std::vector<TreeId>& order = paper_order(),
     const std::vector<TreeId>& trees = high_impact_trees());

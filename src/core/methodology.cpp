@@ -1,5 +1,8 @@
 #include "dmm/core/methodology.h"
 
+#include <stdexcept>
+#include <utility>
+
 namespace dmm::core {
 
 std::unique_ptr<alloc::Allocator> MethodologyResult::make_manager(
@@ -95,6 +98,119 @@ MethodologyResult design_manager(const AllocTrace& trace,
         charge(v);
         result.validation_results.push_back(std::move(v));
       }
+    }
+  } catch (...) {
+    save_cache();
+    throw;
+  }
+  save_cache();
+  return result;
+}
+
+FamilyDesignResult design_manager_family(const std::vector<AllocTrace>& traces,
+                                         const FamilyDesignOptions& options) {
+  // Family inputs are caller data (CLI lists, recorded files) — validate
+  // loudly instead of designing against a half-read family.
+  if (traces.empty()) {
+    throw std::invalid_argument(
+        "design_manager_family: the trace family is empty");
+  }
+  if (!options.weights.empty() && options.weights.size() != traces.size()) {
+    throw std::invalid_argument(
+        "design_manager_family: " + std::to_string(options.weights.size()) +
+        " weights for " + std::to_string(traces.size()) + " traces");
+  }
+
+  std::vector<FamilyEvalMember> members;
+  members.reserve(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    FamilyEvalMember m;
+    // Aliasing, non-owning: the caller's vector outlives this call and a
+    // full case-study trace is millions of events — copying every member
+    // would double the trace memory before any search work starts.
+    m.trace = std::shared_ptr<const AllocTrace>(
+        std::shared_ptr<const AllocTrace>(), &traces[i]);
+    m.fingerprint = m.trace->fingerprint();
+    m.weight = options.weights.empty() ? 1.0 : options.weights[i];
+    members.push_back(std::move(m));
+  }
+
+  // Cache persistence mirrors design_manager(): one load up front, one
+  // save at the end — and on the failure path, because an exception
+  // escaping main() never unwinds a scope guard.
+  ExplorerOptions explorer_options = options.explorer_options;
+  if (explorer_options.cache && explorer_options.shared_cache == nullptr) {
+    // No cache injected: a private run-scoped cache still lets the
+    // per-trace breakdown below ride the search's member replays instead
+    // of re-replaying the winner on every trace (minutes each on full
+    // case-study traces).
+    explorer_options.shared_cache = std::make_shared<SharedScoreCache>();
+  }
+  std::shared_ptr<SharedScoreCache> persisted;
+  if (!options.cache_file.empty() && explorer_options.cache) {
+    persisted = explorer_options.shared_cache;
+    (void)persisted->load(options.cache_file);
+  }
+  const auto save_cache = [&] {
+    if (persisted != nullptr) (void)persisted->save(options.cache_file);
+  };
+
+  FamilyDesignResult result;
+  const std::unique_ptr<EvalEngine> engine =
+      make_engine(explorer_options.num_threads);
+  try {
+    SearchContext ctx(members, options.aggregate, explorer_options, *engine);
+    const std::unique_ptr<SearchStrategy> strategy = make_strategy(
+        explorer_options.search, options.order, options.validation_trees);
+    strategy->run(ctx);
+    // Warm-start candidates compete *after* the search (an ordered walk's
+    // final crowning would clobber anything offered before it): the family
+    // best is the fold over the search's offers and every seed, in order.
+    if (!options.seed_candidates.empty()) {
+      std::vector<EvalJob> jobs;
+      jobs.reserve(options.seed_candidates.size());
+      for (std::size_t k = 0; k < options.seed_candidates.size(); ++k) {
+        jobs.push_back({options.seed_candidates[k], k});
+      }
+      for (const EvalOutcome& out : ctx.evaluate(jobs)) {
+        if (ctx.offer_best(options.seed_candidates[out.tag], out)) {
+          result.best_seed = static_cast<int>(out.tag);
+        }
+      }
+      if (result.best_seed >= 0) {
+        // A seed displaced the search's best: the portfolio's per-child
+        // found_best flag and the winning walk's step log no longer
+        // describe `best` — clear them instead of publishing a false
+        // attribution.
+        for (ChildSearchReport& child : ctx.result().children) {
+          child.found_best = false;
+        }
+        ctx.result().steps.clear();
+      }
+    }
+    result.search = ctx.finish();
+    result.best = result.search.best;
+    result.feasible = result.search.feasible;
+    result.aggregate_objective =
+        candidate_objective(explorer_options, result.search.best_sim,
+                            result.search.work_steps);
+
+    // Per-trace breakdown: the winner replayed on each member, served from
+    // the member-level cache entries the search already paid for.
+    for (const FamilyEvalMember& m : members) {
+      FamilyTraceReport report;
+      report.fingerprint = m.fingerprint;
+      std::vector<EvalOutcome> out;
+      if (explorer_options.cache && explorer_options.shared_cache != nullptr) {
+        SharedScoreCache::Session session =
+            explorer_options.shared_cache->begin_search(m.fingerprint);
+        out = engine->evaluate(*m.trace, {{result.best, 0}}, &session);
+      } else {
+        out = engine->evaluate(*m.trace, {{result.best, 0}}, nullptr);
+      }
+      report.sim = out[0].sim;
+      report.work_steps = out[0].work_steps;
+      result.per_trace.push_back(report);
     }
   } catch (...) {
     save_cache();

@@ -115,15 +115,34 @@ SearchContext::CacheBinding::CacheBinding(const ExplorerOptions& opts,
 SearchContext::SearchContext(const AllocTrace& trace,
                              std::uint64_t trace_fingerprint,
                              const ExplorerOptions& opts, EvalEngine& engine)
-    : trace_(trace),
+    : trace_(&trace),
       opts_(opts),
       engine_(engine),
       cache_(opts, trace_fingerprint) {}
 
+SearchContext::SearchContext(std::vector<FamilyEvalMember> family,
+                             FamilyAggregate aggregate,
+                             const ExplorerOptions& opts, EvalEngine& engine)
+    : family_(std::move(family)),
+      aggregate_(aggregate),
+      opts_(opts),
+      engine_(engine),
+      // The aggregate-level binding: folded family scores cached under the
+      // trace-set fingerprint, next to (never colliding with) the
+      // per-member entries.
+      cache_(opts, family_fingerprint(family_, aggregate)) {
+  member_caches_.reserve(family_.size());
+  for (const FamilyEvalMember& m : family_) {
+    member_caches_.push_back(
+        std::make_unique<CacheBinding>(opts, m.fingerprint));
+  }
+}
+
 std::vector<EvalOutcome> SearchContext::evaluate(
     const std::vector<EvalJob>& jobs) {
+  if (trace_ == nullptr) return evaluate_family(jobs);
   std::vector<EvalOutcome> outcomes =
-      engine_.evaluate(trace_, jobs, cache_.ptr);
+      engine_.evaluate(*trace_, jobs, cache_.ptr);
   for (const EvalOutcome& out : outcomes) {
     if (out.from_cache) {
       ++result_.cache_hits;
@@ -131,6 +150,69 @@ std::vector<EvalOutcome> SearchContext::evaluate(
       ++result_.simulations;
     }
   }
+  charged_ += outcomes.size();
+  return outcomes;
+}
+
+std::vector<EvalOutcome> SearchContext::evaluate_family(
+    const std::vector<EvalJob>& jobs) {
+  std::vector<EvalOutcome> outcomes(jobs.size());
+  // Aggregate-level cache pass: a hit skips every member evaluation and
+  // counts one cache hit; misses are collected (by canonical form, the
+  // same one the member engines will use) for member scoring.
+  std::vector<alloc::DmmConfig> canon;
+  canon.reserve(jobs.size());
+  for (const EvalJob& job : jobs) canon.push_back(alloc::canonical(job.cfg));
+  std::vector<std::size_t> miss;
+  std::vector<EvalJob> miss_jobs;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    CandidateCache::Entry hit;
+    if (cache_.ptr != nullptr && cache_.ptr->lookup_canonical(canon[i], &hit)) {
+      outcomes[i].tag = jobs[i].tag;
+      outcomes[i].sim = hit.sim;
+      outcomes[i].work_steps = hit.work_steps;
+      outcomes[i].from_cache = true;
+      // A whole-candidate hit, counted apart from cache_hits: that counter
+      // stays in per-member units, this one in candidates.
+      ++result_.family_hits;
+      continue;
+    }
+    miss_jobs.push_back({canon[i], miss.size()});
+    miss.push_back(i);
+  }
+  if (!miss.empty()) {
+    // Score the misses on every member — each member batch goes through
+    // that member's own cache binding, so family replays land in (and are
+    // served from) the same per-trace entries single-trace searches use.
+    std::vector<std::vector<EvalOutcome>> per_member;
+    per_member.reserve(family_.size());
+    for (std::size_t m = 0; m < family_.size(); ++m) {
+      per_member.push_back(engine_.evaluate(*family_[m].trace, miss_jobs,
+                                            member_caches_[m]->ptr));
+      for (const EvalOutcome& out : per_member.back()) {
+        if (out.from_cache) {
+          ++result_.cache_hits;
+        } else {
+          ++result_.simulations;
+        }
+      }
+    }
+    std::vector<EvalOutcome> member_slice(family_.size());
+    for (std::size_t k = 0; k < miss.size(); ++k) {
+      for (std::size_t m = 0; m < family_.size(); ++m) {
+        member_slice[m] = per_member[m][k];
+      }
+      const EvalOutcome agg = aggregate_family(jobs[miss[k]].tag,
+                                               member_slice, family_,
+                                               aggregate_);
+      if (cache_.ptr != nullptr) {
+        cache_.ptr->insert_canonical(canon[miss[k]],
+                                     {agg.sim, agg.work_steps});
+      }
+      outcomes[miss[k]] = agg;
+    }
+  }
+  charged_ += jobs.size();
   return outcomes;
 }
 
@@ -144,6 +226,12 @@ bool SearchContext::offer_best(const DmmConfig& cfg, const EvalOutcome& out) {
 }
 
 void SearchContext::set_best(const DmmConfig& cfg, const EvalOutcome& out) {
+  if (competitive_) {
+    // Portfolio racing: an ordered walk's final completion competes with
+    // the other children's offers instead of overriding them.
+    (void)offer_best(cfg, out);
+    return;
+  }
   tracker_.obj = candidate_objective(opts_, out.sim, out.work_steps);
   tracker_.failed = out.sim.failed_allocs;
   tracker_.avg = out.sim.avg_footprint;
@@ -167,6 +255,13 @@ ExplorationResult SearchContext::finish() {
       cache_.session ? cache_.session->cross_search_hits() : 0;
   result_.persisted_hits =
       cache_.session ? cache_.session->persisted_hits() : 0;
+  // Family mode: the member sessions served hits of their own.
+  for (const std::unique_ptr<CacheBinding>& member : member_caches_) {
+    if (member->session) {
+      result_.cross_search_hits += member->session->cross_search_hits();
+      result_.persisted_hits += member->session->persisted_hits();
+    }
+  }
   return std::move(result_);
 }
 
@@ -373,22 +468,35 @@ ExhaustiveSearch::ExhaustiveSearch(std::vector<TreeId> trees,
     : trees_(std::move(trees)), max_evals_(max_evals) {}
 
 void ExhaustiveSearch::run(SearchContext& ctx) {
+  reset();
+  while (step(ctx, max_evals_)) {
+  }
+}
+
+bool ExhaustiveSearch::step(SearchContext& ctx, std::size_t eval_budget) {
   const ExplorerOptions& opts = ctx.options();
+  if (!begun_) {
+    begun_ = true;
+    done_ = false;
+    leaf_.assign(trees_.size(), 0);
+    charged_ = 0;
+  }
   DecidedMask decided{};
   for (TreeId t : trees_) decided[static_cast<std::size_t>(t)] = true;
 
-  std::vector<int> leaf(trees_.size(), 0);
-  std::uint64_t evaluations = 0;
-  bool done = false;
-  while (!done && evaluations < max_evals_) {
+  // This turn's slice: the caller's budget capped at our own remainder.
+  const std::uint64_t budget =
+      std::min<std::uint64_t>(eval_budget, max_evals_ - charged_);
+  std::uint64_t stepped = 0;
+  while (!done_ && stepped < budget) {
     // Collect the next window of valid vectors, then score it as one batch.
     std::vector<EvalJob> jobs;
     std::vector<DmmConfig> cfgs;
-    while (!done && jobs.size() < kStreamBatch &&
-           evaluations + jobs.size() < max_evals_) {
+    while (!done_ && jobs.size() < kStreamBatch &&
+           stepped + jobs.size() < budget) {
       DmmConfig cfg = opts.defaults;
       for (std::size_t i = 0; i < trees_.size(); ++i) {
-        set_leaf(cfg, trees_[i], leaf[i]);
+        set_leaf(cfg, trees_[i], leaf_[i]);
       }
       cfg = Constraints::repair(cfg, decided);
       // Canonical quotient of the cartesian product: a vector whose
@@ -406,19 +514,21 @@ void ExhaustiveSearch::run(SearchContext& ctx) {
       std::size_t pos = 0;
       for (;;) {
         if (pos == trees_.size()) {
-          done = true;
+          done_ = true;
           break;
         }
-        if (++leaf[pos] < leaf_count(trees_[pos])) break;
-        leaf[pos] = 0;
+        if (++leaf_[pos] < leaf_count(trees_[pos])) break;
+        leaf_[pos] = 0;
         ++pos;
       }
     }
-    evaluations += jobs.size();
+    stepped += jobs.size();
     for (const EvalOutcome& out : ctx.evaluate(jobs)) {
       (void)ctx.offer_best(cfgs[out.tag], out);
     }
   }
+  charged_ += stepped;
+  return !done_ && charged_ < max_evals_;
 }
 
 // ---------------------------------------------------------------------------
@@ -429,24 +539,36 @@ RandomSearch::RandomSearch(std::size_t samples, unsigned seed)
     : samples_(samples), seed_(seed) {}
 
 void RandomSearch::run(SearchContext& ctx) {
+  reset();
+  while (step(ctx, samples_)) {
+  }
+}
+
+bool RandomSearch::step(SearchContext& ctx, std::size_t eval_budget) {
   const ExplorerOptions& opts = ctx.options();
-  std::mt19937 rng(seed_);
+  if (!begun_) {
+    begun_ = true;
+    rng_.seed(seed_);
+    attempts_ = 0;
+    charged_ = 0;
+  }
   // Budget = number of *evaluations* (replays + cache hits), matching the
   // ordered traversal's accounting; invalid draws — and canonical
   // duplicates under canonical_prune_random — are rejected without charge
   // (bounded).
   const std::size_t max_attempts = samples_ * 500 + 1000;
-  std::size_t attempts = 0;
-  std::uint64_t evaluations = 0;
-  while (attempts < max_attempts && evaluations < samples_) {
+  const std::uint64_t budget =
+      std::min<std::uint64_t>(eval_budget, samples_ - charged_);
+  std::uint64_t stepped = 0;
+  while (attempts_ < max_attempts && stepped < budget) {
     std::vector<EvalJob> jobs;
     std::vector<DmmConfig> cfgs;
-    while (attempts < max_attempts && evaluations + jobs.size() < samples_ &&
+    while (attempts_ < max_attempts && stepped + jobs.size() < budget &&
            jobs.size() < kStreamBatch) {
-      ++attempts;
+      ++attempts_;
       DmmConfig cfg = opts.defaults;
       for (TreeId t : all_trees()) {
-        set_leaf(cfg, t, uniform_leaf(rng, leaf_count(t)));
+        set_leaf(cfg, t, uniform_leaf(rng_, leaf_count(t)));
       }
       if (!passes_rules(opts, cfg)) continue;
       if (opts.canonical_prune_random && ctx.canonical_duplicate(cfg)) {
@@ -455,11 +577,13 @@ void RandomSearch::run(SearchContext& ctx) {
       jobs.push_back({cfg, jobs.size()});
       cfgs.push_back(cfg);
     }
-    evaluations += jobs.size();
+    stepped += jobs.size();
     for (const EvalOutcome& out : ctx.evaluate(jobs)) {
       (void)ctx.offer_best(cfgs[out.tag], out);
     }
   }
+  charged_ += stepped;
+  return attempts_ < max_attempts && charged_ < samples_;
 }
 
 // ---------------------------------------------------------------------------
@@ -482,23 +606,34 @@ double anneal_energy(const ExplorerOptions& opts, const EvalOutcome& out) {
 AnnealingSearch::AnnealingSearch(AnnealingOptions opts) : anneal_(opts) {}
 
 void AnnealingSearch::run(SearchContext& ctx) {
-  const ExplorerOptions& opts = ctx.options();
-  std::mt19937 rng(anneal_.seed);
-
-  // Start state: the repaired defaults — with nothing decided, repair()
-  // completes them into a valid vector — mapped into the quotient.
-  const DecidedMask none{};
-  DmmConfig state = alloc::canonical(Constraints::repair(opts.defaults, none));
-  double energy;
-  {
-    const std::vector<EvalOutcome> out = ctx.evaluate({{state, 0}});
-    (void)ctx.offer_best(state, out[0]);
-    energy = anneal_energy(opts, out[0]);
+  reset();
+  while (step(ctx, anneal_.max_evals)) {
   }
-  double temp = anneal_.initial_temp * std::max(1.0, energy);
-  std::size_t since_cool = 0;
+}
 
-  while (ctx.evaluations() < anneal_.max_evals) {
+bool AnnealingSearch::step(SearchContext& ctx, std::size_t eval_budget) {
+  const ExplorerOptions& opts = ctx.options();
+  std::uint64_t stepped = 0;
+  if (!begun_) {
+    begun_ = true;
+    frozen_ = false;
+    charged_ = 0;
+    since_cool_ = 0;
+    rng_.seed(anneal_.seed);
+
+    // Start state: the repaired defaults — with nothing decided, repair()
+    // completes them into a valid vector — mapped into the quotient.
+    const DecidedMask none{};
+    state_ = alloc::canonical(Constraints::repair(opts.defaults, none));
+    const std::vector<EvalOutcome> out = ctx.evaluate({{state_, 0}});
+    (void)ctx.offer_best(state_, out[0]);
+    energy_ = anneal_energy(opts, out[0]);
+    temp_ = anneal_.initial_temp * std::max(1.0, energy_);
+    ++charged_;
+    ++stepped;
+  }
+
+  while (!frozen_ && charged_ < anneal_.max_evals && stepped < eval_budget) {
     // Propose: mutate one tree to a different leaf, let repair() nudge
     // only the trees a violated rule drags along (the mutated tree alone
     // counts as decided, so e.g. flipping A5 pulls its schedules with it
@@ -508,45 +643,147 @@ void AnnealingSearch::run(SearchContext& ctx) {
     DmmConfig next{};
     bool found = false;
     for (int attempt = 0; attempt < 256 && !found; ++attempt) {
-      DmmConfig probe = state;
-      const TreeId tree =
-          all_trees()[static_cast<std::size_t>(uniform_leaf(rng, kTreeCount))];
+      DmmConfig probe = state_;
+      const TreeId tree = all_trees()[static_cast<std::size_t>(
+          uniform_leaf(rng_, kTreeCount))];
       const int n = leaf_count(tree);
       const int cur = get_leaf(probe, tree);
-      set_leaf(probe, tree, (cur + 1 + uniform_leaf(rng, n - 1)) % n);
+      set_leaf(probe, tree, (cur + 1 + uniform_leaf(rng_, n - 1)) % n);
       DecidedMask mutated{};
       mutated[static_cast<std::size_t>(tree)] = true;
       probe = Constraints::repair(probe, mutated);
       if (!passes_rules(opts, probe)) continue;
       probe = alloc::canonical(probe);
-      if (probe == state) {
+      if (probe == state_) {
         ++ctx.result().canonical_skips;
         continue;
       }
       next = probe;
       found = true;
     }
-    if (!found) break;  // frozen: no admissible neighbour in 256 draws
+    if (!found) {
+      frozen_ = true;  // no admissible neighbour in 256 draws
+      break;
+    }
 
     const std::vector<EvalOutcome> out = ctx.evaluate({{next, 0}});
     (void)ctx.offer_best(next, out[0]);
+    ++charged_;
+    ++stepped;
     const double next_energy = anneal_energy(opts, out[0]);
-    const double delta = next_energy - energy;
+    const double delta = next_energy - energy_;
     bool accept = delta <= 0.0;
-    if (!accept && temp > 0.0) {
+    if (!accept && temp_ > 0.0) {
       // Portable uniform in [0,1): mt19937's output sequence is fully
       // specified, so the trajectory is identical on every stdlib.
-      const double u = std::ldexp(static_cast<double>(rng()), -32);
-      accept = u < std::exp(-delta / temp);
+      const double u = std::ldexp(static_cast<double>(rng_()), -32);
+      accept = u < std::exp(-delta / temp_);
     }
     if (accept) {
-      state = next;
-      energy = next_energy;
+      state_ = next;
+      energy_ = next_energy;
     }
-    if (++since_cool >= anneal_.moves_per_temp) {
-      since_cool = 0;
-      temp *= anneal_.cooling;
+    if (++since_cool_ >= anneal_.moves_per_temp) {
+      since_cool_ = 0;
+      temp_ *= anneal_.cooling;
     }
+  }
+  return !frozen_ && charged_ < anneal_.max_evals;
+}
+
+// ---------------------------------------------------------------------------
+// PortfolioSearch — race child strategies round-robin on one context
+// ---------------------------------------------------------------------------
+
+PortfolioSearch::PortfolioSearch(std::vector<SearchSpec> children,
+                                 std::size_t budget, std::vector<TreeId> order,
+                                 std::vector<TreeId> trees)
+    : budget_(budget) {
+  children_.reserve(children.size());
+  for (const SearchSpec& spec : children) {
+    children_.push_back(make_strategy(spec, order, trees));
+  }
+}
+
+std::string PortfolioSearch::name() const {
+  std::string n = "portfolio:";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i != 0) n += '+';
+    n += children_[i]->name();
+  }
+  return n;
+}
+
+void PortfolioSearch::run(SearchContext& ctx) {
+  // Racing semantics: every child offers into one shared incumbent, so an
+  // ordered walk's final crowning must compete, not clobber.
+  ctx.set_competitive(true);
+  ExplorationResult& result = ctx.result();
+  result.children.assign(children_.size(), {});
+  std::vector<std::vector<StepLog>> child_steps(children_.size());
+  std::vector<char> alive(children_.size(), 1);
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    children_[i]->reset();
+    result.children[i].name = children_[i]->name();
+  }
+
+  // Deal the overall budget round-robin in kSliceEvals slices: child i
+  // steps, its actual consumption is charged against the pot, and the
+  // turn passes on.  Streaming children pause exactly at the slice edge;
+  // ordered walks are indivisible and spend their natural cost in their
+  // first (only) turn.  Everything here is a pure function of the specs
+  // and the budget — no wall clock, no thread count.
+  std::uint64_t remaining = budget_ == 0
+                                ? std::numeric_limits<std::uint64_t>::max()
+                                : budget_;
+  std::size_t best_child = children_.size();  // none yet
+  std::uint64_t last_best_mark = result.evals_to_best;
+  bool any_alive = !children_.empty();
+  while (any_alive && remaining > 0) {
+    any_alive = false;
+    bool progressed = false;
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (!alive[i]) continue;
+      const std::uint64_t slice =
+          std::min<std::uint64_t>(kSliceEvals, remaining);
+      if (slice == 0) break;
+      ChildSearchReport& attr = result.children[i];
+      const std::uint64_t evals_before = ctx.evaluations();
+      const std::uint64_t sims_before = result.simulations;
+      const std::uint64_t hits_before = result.cache_hits;
+      // Isolate this child's step logs: greedy appends to result.steps and
+      // beam replaces it wholesale, so the shared vector is parked and a
+      // fresh one handed to the child.
+      std::vector<StepLog> parked = std::move(result.steps);
+      result.steps.clear();
+      const bool more = children_[i]->step(ctx, slice);
+      for (StepLog& log : result.steps) {
+        child_steps[i].push_back(std::move(log));
+      }
+      result.steps = std::move(parked);
+      const std::uint64_t used = ctx.evaluations() - evals_before;
+      attr.evaluations += used;
+      attr.simulations += result.simulations - sims_before;
+      attr.cache_hits += result.cache_hits - hits_before;
+      if (result.evals_to_best != last_best_mark) {
+        // The incumbent was displaced during this child's turn — offers
+        // always land at a strictly higher charge count than any earlier
+        // turn's, so the mark is unambiguous.
+        last_best_mark = result.evals_to_best;
+        best_child = i;
+      }
+      remaining -= std::min(used, remaining);
+      progressed = progressed || used > 0 || !more;
+      if (!more) alive[i] = false;
+      any_alive = any_alive || alive[i];
+    }
+    // Safety valve: a full round where every child claimed more work but
+    // charged nothing would spin forever.
+    if (!progressed) break;
+  }
+  if (best_child < children_.size()) {
+    result.children[best_child].found_best = true;
+    result.steps = std::move(child_steps[best_child]);
   }
 }
 
@@ -561,8 +798,6 @@ const std::vector<TreeId>& high_impact_trees() {
   return kTrees;
 }
 
-namespace {
-
 /// Parses a whole non-negative number; nullopt on any other input,
 /// including values strtoull would clamp (a seed of 2^64 must be a
 /// rejected spec, not a silently different one).
@@ -575,6 +810,8 @@ std::optional<std::uint64_t> parse_number(const std::string& s) {
   if (errno == ERANGE) return std::nullopt;
   return value;
 }
+
+namespace {
 
 /// A seed must round-trip through the `unsigned` the searchers take —
 /// truncating would hand two distinct seeds the same trajectory.
@@ -589,6 +826,40 @@ std::optional<unsigned> parse_seed(const std::string& s) {
 }  // namespace
 
 std::optional<SearchSpec> parse_search_spec(const std::string& text) {
+  // Portfolio first: its tail is a '+'-separated list of child specs that
+  // themselves contain colons, so it cannot go through the generic colon
+  // split below.  Grammar: portfolio[:BUDGET]:CHILD+CHILD[+CHILD...].
+  if (text.rfind("portfolio:", 0) == 0) {
+    SearchSpec spec;
+    spec.kind = SearchSpec::Kind::kPortfolio;
+    std::string rest = text.substr(std::string("portfolio:").size());
+    // An all-digits segment before another ':' is the overall budget — a
+    // child spec never starts with a digit, so the form is unambiguous.
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string::npos &&
+        rest.find_first_not_of("0123456789") >= colon) {
+      const auto budget = parse_number(rest.substr(0, colon));
+      if (!budget || *budget == 0 ||
+          *budget > std::numeric_limits<std::size_t>::max()) {
+        return std::nullopt;
+      }
+      spec.portfolio_budget = static_cast<std::size_t>(*budget);
+      rest = rest.substr(colon + 1);
+    }
+    std::size_t begin = 0;
+    for (;;) {
+      const std::size_t plus = rest.find('+', begin);
+      const auto child = parse_search_spec(rest.substr(begin, plus - begin));
+      // No nesting: a portfolio child must name a concrete searcher.
+      if (!child || child->kind == SearchSpec::Kind::kPortfolio) {
+        return std::nullopt;
+      }
+      spec.children.push_back(*child);
+      if (plus == std::string::npos) break;
+      begin = plus + 1;
+    }
+    return spec;
+  }
   std::vector<std::string> parts;
   std::size_t begin = 0;
   for (;;) {
@@ -616,7 +887,17 @@ std::optional<SearchSpec> parse_search_spec(const std::string& text) {
     }
     spec.kind = SearchSpec::Kind::kAnneal;
   } else if (parts[0] == "exhaustive") {
-    if (parts.size() != 1) return std::nullopt;
+    if (parts.size() > 2) return std::nullopt;
+    if (parts.size() == 2) {
+      // Optional evaluation budget: SearchSpec.max_evals was always there,
+      // the grammar just never exposed it.
+      const auto budget = parse_number(parts[1]);
+      if (!budget || *budget == 0 ||
+          *budget > std::numeric_limits<std::size_t>::max()) {
+        return std::nullopt;
+      }
+      spec.max_evals = static_cast<std::size_t>(*budget);
+    }
     spec.kind = SearchSpec::Kind::kExhaustive;
   } else if (parts[0] == "random") {
     if (parts.size() > 3) return std::nullopt;
@@ -651,6 +932,10 @@ std::unique_ptr<SearchStrategy> make_strategy(const SearchSpec& spec,
       return std::make_unique<ExhaustiveSearch>(trees, spec.max_evals);
     case SearchSpec::Kind::kRandom:
       return std::make_unique<RandomSearch>(spec.samples, spec.seed);
+    case SearchSpec::Kind::kPortfolio:
+      return std::make_unique<PortfolioSearch>(spec.children,
+                                               spec.portfolio_budget, order,
+                                               trees);
   }
   return std::make_unique<GreedySearch>(order);
 }
