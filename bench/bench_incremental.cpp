@@ -1,0 +1,389 @@
+// Incremental-replay ablation (core/checkpoint.h): for every case-study
+// workload, run each searcher cold and with the checkpoint store and
+// report how many trace events each actually replayed, the fraction of
+// evaluations served from a resume point or a full skip, and wall time.
+// A second scenario scores a post-search sensitivity sweep — the knob
+// ladder a designer runs around the chosen vector — where whole-trace
+// skips dominate and the savings are large.  A third times the dense-id
+// flat-vector live map against the hash-map path on the same event
+// sequence (ids dense vs. scattered).
+//
+// Emits BENCH_incremental.json.  The exit code gates, and CI enforces:
+//   * every searcher finds the same best vector with checkpoints on,
+//   * the greedy DRR walk replays strictly fewer events than cold while
+//     a verify_incremental pass stays failure-free,
+//   * the DRR sensitivity sweep replays >= 3x fewer events than cold.
+//
+// Optional argv[1]: cap on trace events (0 = full trace); `--out PATH`
+// relocates the JSON.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dmm/core/checkpoint.h"
+#include "dmm/core/explorer.h"
+
+namespace {
+
+using namespace dmm;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SearcherNumbers {
+  std::string name;
+  core::ExplorationResult cold;
+  core::ExplorationResult inc;
+  double cold_wall = 0.0;
+  double inc_wall = 0.0;
+  std::uint64_t verified_ok = 0;
+  std::uint64_t verify_failures = 0;
+  bool best_agrees = false;
+};
+
+/// Runs @p run_search cold and incrementally on fresh Explorers (fresh
+/// local caches, fresh checkpoint store: the numbers are one searcher's
+/// own, not a warm-cache artefact).
+template <typename RunFn>
+SearcherNumbers measure(const std::shared_ptr<const core::AllocTrace>& trace,
+                        const std::string& name, bool verify_greedy,
+                        const RunFn& run_search) {
+  SearcherNumbers n;
+  n.name = name;
+  {
+    core::ExplorerOptions opts;
+    opts.num_threads = 1;
+    core::Explorer ex(trace, opts);
+    const double t0 = now_seconds();
+    n.cold = run_search(ex);
+    n.cold_wall = now_seconds() - t0;
+  }
+  {
+    core::ExplorerOptions opts;
+    opts.num_threads = 1;
+    opts.incremental = true;
+    core::Explorer ex(trace, opts);
+    const double t0 = now_seconds();
+    n.inc = run_search(ex);
+    n.inc_wall = now_seconds() - t0;
+  }
+  n.best_agrees = n.cold.best == n.inc.best &&
+                  n.cold.best_sim.peak_footprint ==
+                      n.inc.best_sim.peak_footprint;
+  if (verify_greedy) {
+    // Dedicated pass with verify_incremental: every resume and skip is
+    // cross-checked bit-for-bit against a cold replay (untimed — verify
+    // replays everything twice by design).
+    core::ExplorerOptions opts;
+    opts.num_threads = 1;
+    opts.incremental = true;
+    opts.verify_incremental = true;
+    core::Explorer ex(trace, opts);
+    const core::ExplorationResult verified = run_search(ex);
+    n.best_agrees = n.best_agrees && verified.best == n.cold.best;
+    const core::CheckpointStore::Stats stats =
+        ex.engine().checkpoint_store()->stats();
+    n.verified_ok = stats.verified_ok;
+    n.verify_failures = stats.verify_failures;
+  }
+  return n;
+}
+
+/// The post-search threshold sweep: "how far can the large-object
+/// threshold move before behaviour changes?" — the question a designer
+/// asks right after the search picks a vector.  Most rungs never touch
+/// the trace's request sizes, so the divergence analysis proves whole
+/// replays away (full skips); a rung that does straddle a live size
+/// resumes from the trace-pure first-straddling-allocation bound.
+/// Variants that canonicalize onto an already-seen behaviour are dropped —
+/// in-session dedup would serve those for free anyway, and the sweep
+/// should credit checkpoints, not dedup.
+std::vector<alloc::DmmConfig> sensitivity_variants(
+    const alloc::DmmConfig& base) {
+  std::vector<alloc::DmmConfig> out;
+  std::vector<alloc::DmmConfig> canon_seen = {alloc::canonical(base)};
+  const auto add = [&](alloc::DmmConfig v) {
+    const alloc::DmmConfig c = alloc::canonical(v);
+    for (const alloc::DmmConfig& seen : canon_seen) {
+      if (seen == c) return;
+    }
+    canon_seen.push_back(c);
+    out.push_back(v);
+  };
+  for (const std::size_t big :
+       {std::size_t{4} * 1024, std::size_t{16} * 1024, std::size_t{32} * 1024,
+        std::size_t{64} * 1024, std::size_t{128} * 1024,
+        std::size_t{256} * 1024, std::size_t{512} * 1024}) {
+    alloc::DmmConfig v = base;
+    v.big_request_bytes = big;
+    add(v);
+  }
+  for (const std::size_t min :
+       {std::size_t{512}, std::size_t{1024}, std::size_t{4096}}) {
+    alloc::DmmConfig v = base;
+    v.deferred_split_min = min;
+    add(v);
+  }
+  return out;
+}
+
+struct SweepNumbers {
+  std::size_t evals = 0;
+  std::uint64_t cold_events = 0;
+  std::uint64_t inc_events = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t full_skips = 0;
+  std::uint64_t verify_failures = 0;
+  [[nodiscard]] double speedup() const {
+    return inc_events == 0 ? 0.0
+                           : static_cast<double>(cold_events) /
+                                 static_cast<double>(inc_events);
+  }
+};
+
+SweepNumbers run_sweep(const core::AllocTrace& trace,
+                       const alloc::DmmConfig& base) {
+  SweepNumbers s;
+  core::SerialEngine engine;
+  auto store = std::make_shared<core::CheckpointStore>();
+  engine.configure_incremental(store, /*verify=*/true);
+  engine.stream_begin(trace);
+  std::uint64_t tag = 0;
+  engine.stream_submit({base, tag++});
+  for (const alloc::DmmConfig& v : sensitivity_variants(base)) {
+    engine.stream_submit({v, tag++});
+  }
+  for (const core::EvalOutcome& out : engine.stream_drain()) {
+    ++s.evals;
+    s.inc_events += out.replayed_events;
+    s.cold_events += trace.events().size();
+  }
+  const core::CheckpointStore::Stats stats = store->stats();
+  s.resumes = stats.resumes;
+  s.full_skips = stats.full_skips;
+  s.verify_failures = stats.verify_failures;
+  return s;
+}
+
+/// Same logical event sequence twice: ids 0..N-1 (dense flat-vector path)
+/// versus ids scattered by a large odd stride (hash-map fallback).  The
+/// allocator sees identical request sizes and lifetimes either way, so the
+/// wall-time delta is the live-map data structure alone.
+struct LiveMapNumbers {
+  std::uint64_t events = 0;
+  double dense_wall = 0.0;
+  double hash_wall = 0.0;
+};
+
+LiveMapNumbers run_livemap(std::size_t objects) {
+  LiveMapNumbers n;
+  const auto build = [&](bool dense_ids) {
+    core::AllocTrace t;
+    for (std::size_t i = 0; i < objects; ++i) {
+      const auto id = static_cast<std::uint32_t>(dense_ids ? i : i * 2099 + 7);
+      t.record_alloc(id, 64 + static_cast<std::uint32_t>(i % 7) * 32);
+      if (i >= 8) {
+        const std::size_t j = i - 8;
+        t.record_free(
+            static_cast<std::uint32_t>(dense_ids ? j : j * 2099 + 7));
+      }
+    }
+    t.close_leaks();
+    return t;
+  };
+  const auto time_replay = [&](const core::AllocTrace& t) {
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const double t0 = now_seconds();
+      (void)core::simulate_fresh(t, [](sysmem::SystemArena& a) {
+        return std::make_unique<alloc::CustomManager>(
+            a, alloc::drr_paper_config());
+      });
+      const double wall = now_seconds() - t0;
+      if (rep == 0 || wall < best) best = wall;
+    }
+    return best;
+  };
+  const core::AllocTrace dense = build(true);
+  const core::AllocTrace sparse = build(false);
+  n.events = dense.size();
+  n.dense_wall = time_replay(dense);
+  n.hash_wall = time_replay(sparse);
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args =
+      bench::parse_bench_args(argc, argv, "BENCH_incremental.json");
+
+  std::printf("Incremental replay ablation (checkpoint store, 1 thread)\n");
+  bench::print_rule('=');
+
+  std::FILE* json = std::fopen(args.out.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", args.out.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"incremental\",\n");
+  std::fprintf(json, "  \"workloads\": [");
+
+  bool agree_gate = true;
+  bool verify_gate = true;
+  bool drr_fewer_gate = false;
+  bool drr_sweep_gate = false;
+  bool first_workload = true;
+  for (const workloads::Workload& w : workloads::case_studies()) {
+    core::AllocTrace recorded = workloads::record_trace(w, 1);
+    bench::cap_events(recorded, args.max_events);
+    const auto trace =
+        std::make_shared<const core::AllocTrace>(std::move(recorded));
+    std::printf("\n== %s (%zu events) ==\n", w.name.c_str(), trace->size());
+    std::printf("%-10s %12s %12s %7s %6s %7s %8s %8s\n", "strategy",
+                "cold events", "inc events", "saved", "resum", "skips",
+                "cold s", "inc s");
+    bench::print_rule();
+
+    std::vector<SearcherNumbers> rows;
+    rows.push_back(measure(trace, "greedy", /*verify_greedy=*/true,
+                           [](core::Explorer& ex) {
+                             return ex.explore(core::paper_order());
+                           }));
+    rows.push_back(measure(trace, "beam:2", /*verify_greedy=*/false,
+                           [](core::Explorer& ex) {
+                             core::BeamSearch beam(2, core::paper_order());
+                             return ex.run(beam);
+                           }));
+    const std::size_t budget =
+        2 * (rows[0].cold.simulations + rows[0].cold.cache_hits);
+    rows.push_back(measure(trace, "anneal", /*verify_greedy=*/false,
+                           [budget](core::Explorer& ex) {
+                             core::AnnealingOptions aopts;
+                             aopts.max_evals = budget;
+                             core::AnnealingSearch anneal(aopts);
+                             return ex.run(anneal);
+                           }));
+
+    for (const SearcherNumbers& n : rows) {
+      const double saved =
+          n.cold.replayed_events == 0
+              ? 0.0
+              : 100.0 *
+                    (static_cast<double>(n.cold.replayed_events) -
+                     static_cast<double>(n.inc.replayed_events)) /
+                    static_cast<double>(n.cold.replayed_events);
+      std::printf("%-10s %12llu %12llu %6.1f%% %6llu %7llu %7.2fs %7.2fs%s\n",
+                  n.name.c_str(),
+                  static_cast<unsigned long long>(n.cold.replayed_events),
+                  static_cast<unsigned long long>(n.inc.replayed_events),
+                  saved, static_cast<unsigned long long>(n.inc.resumed_evals),
+                  static_cast<unsigned long long>(n.inc.full_skips),
+                  n.cold_wall, n.inc_wall,
+                  n.best_agrees ? "" : "  BEST DISAGREES — gate fails");
+      agree_gate = agree_gate && n.best_agrees;
+      verify_gate = verify_gate && n.verify_failures == 0;
+      if (w.name == "drr" && n.name == "greedy") {
+        drr_fewer_gate = n.inc.replayed_events < n.cold.replayed_events;
+      }
+    }
+
+    // Threshold sweep around the greedy winner: the checkpoint store's
+    // home turf — most rungs never touch the trace's behaviour, so
+    // whole replays collapse into full skips.
+    const SweepNumbers sweep = run_sweep(*trace, rows[0].inc.best);
+    std::printf("sensitivity sweep: %zu evals, %llu cold vs %llu inc events "
+                "(%.1fx), %llu resumes, %llu skips\n",
+                sweep.evals,
+                static_cast<unsigned long long>(sweep.cold_events),
+                static_cast<unsigned long long>(sweep.inc_events),
+                sweep.speedup(),
+                static_cast<unsigned long long>(sweep.resumes),
+                static_cast<unsigned long long>(sweep.full_skips));
+    verify_gate = verify_gate && sweep.verify_failures == 0;
+    if (w.name == "drr") drr_sweep_gate = sweep.speedup() >= 3.0;
+
+    std::fprintf(json, "%s\n    {\n      \"workload\": \"%s\",\n",
+                 first_workload ? "" : ",", w.name.c_str());
+    std::fprintf(json, "      \"events\": %zu,\n", trace->size());
+    std::fprintf(json, "      \"searchers\": [");
+    bool first_row = true;
+    for (const SearcherNumbers& n : rows) {
+      const std::uint64_t evals = n.inc.simulations + n.inc.cache_hits;
+      std::fprintf(
+          json,
+          "%s\n        {\"search\": \"%s\", \"cold_replayed_events\": %llu, "
+          "\"inc_replayed_events\": %llu, \"resumed_evals\": %llu, "
+          "\"full_skips\": %llu, \"resumed_fraction\": %.4f, "
+          "\"cold_wall_s\": %.3f, \"inc_wall_s\": %.3f, "
+          "\"best_agrees\": %s, \"verified_ok\": %llu, "
+          "\"verify_failures\": %llu}",
+          first_row ? "" : ",", n.name.c_str(),
+          static_cast<unsigned long long>(n.cold.replayed_events),
+          static_cast<unsigned long long>(n.inc.replayed_events),
+          static_cast<unsigned long long>(n.inc.resumed_evals),
+          static_cast<unsigned long long>(n.inc.full_skips),
+          evals == 0 ? 0.0
+                     : static_cast<double>(n.inc.resumed_evals) /
+                           static_cast<double>(evals),
+          n.cold_wall, n.inc_wall, n.best_agrees ? "true" : "false",
+          static_cast<unsigned long long>(n.verified_ok),
+          static_cast<unsigned long long>(n.verify_failures));
+      first_row = false;
+    }
+    std::fprintf(json, "\n      ],\n");
+    std::fprintf(json,
+                 "      \"sensitivity_sweep\": {\"evals\": %zu, "
+                 "\"cold_events\": %llu, \"inc_events\": %llu, "
+                 "\"speedup\": %.2f, \"resumes\": %llu, \"full_skips\": %llu, "
+                 "\"verify_failures\": %llu}\n    }",
+                 sweep.evals,
+                 static_cast<unsigned long long>(sweep.cold_events),
+                 static_cast<unsigned long long>(sweep.inc_events),
+                 sweep.speedup(),
+                 static_cast<unsigned long long>(sweep.resumes),
+                 static_cast<unsigned long long>(sweep.full_skips),
+                 static_cast<unsigned long long>(sweep.verify_failures));
+    first_workload = false;
+  }
+  std::fprintf(json, "\n  ],\n");
+
+  const LiveMapNumbers lm = run_livemap(50'000);
+  std::printf("\nlive-map backend (%llu events): dense flat %.3fs vs hash "
+              "%.3fs (%.2fx)\n",
+              static_cast<unsigned long long>(lm.events), lm.dense_wall,
+              lm.hash_wall,
+              lm.dense_wall > 0.0 ? lm.hash_wall / lm.dense_wall : 0.0);
+  std::fprintf(json,
+               "  \"livemap\": {\"events\": %llu, \"dense_wall_s\": %.4f, "
+               "\"hash_wall_s\": %.4f},\n",
+               static_cast<unsigned long long>(lm.events), lm.dense_wall,
+               lm.hash_wall);
+
+  const bool all_gates =
+      agree_gate && verify_gate && drr_fewer_gate && drr_sweep_gate;
+  std::fprintf(json,
+               "  \"gates\": {\"best_agrees\": %s, \"verify_clean\": %s, "
+               "\"drr_greedy_strictly_fewer\": %s, "
+               "\"drr_sweep_3x\": %s, \"passed\": %s}\n}\n",
+               agree_gate ? "true" : "false", verify_gate ? "true" : "false",
+               drr_fewer_gate ? "true" : "false",
+               drr_sweep_gate ? "true" : "false", all_gates ? "true" : "false");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", args.out.c_str());
+  if (!all_gates) {
+    std::fprintf(stderr,
+                 "FAIL: incremental gates (best_agrees=%d verify_clean=%d "
+                 "drr_strictly_fewer=%d drr_sweep_3x=%d)\n",
+                 agree_gate, verify_gate, drr_fewer_gate, drr_sweep_gate);
+    return 1;
+  }
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "dmm/alloc/consult.h"
+
 namespace dmm::alloc {
 
 namespace {
@@ -76,6 +78,10 @@ bool FreeIndex::sorted_by_size() const {
 // ---------------------------------------------------------------------------
 
 void FreeIndex::insert(std::byte* block) {
+  // With at least one resident block the insertion position depends on the
+  // ordering policy (C2) — even self-ordering DDTs count, because a config
+  // differing in A1 is a hard (structure) change handled elsewhere.
+  if (count_ >= 1) note_consult(ConsultGroup::kOrder);
   if (ddt_ == BlockStructure::kSizeBinaryTree) {
     tree_insert(block);
   } else if (sorted_by_size() || order_ == FreeListOrder::kSizeOrdered) {
@@ -102,6 +108,16 @@ void FreeIndex::remove(std::byte* block) {
 }
 
 std::byte* FreeIndex::take_fit(std::size_t need, FitAlgorithm fit) {
+  // A fit policy (C1) is consulted when the choice could matter.  On a
+  // list with exactly one block every policy scans that one node, takes it
+  // iff it fits, and updates the cursor identically — no divergence until
+  // two candidates coexist.  On a 1-node tree the policies already differ
+  // observably (worst fit descends the right spine and charges different
+  // scan_steps than the >=-need descent), so trees consult from one block.
+  if (count_ >= 2 ||
+      (count_ >= 1 && ddt_ == BlockStructure::kSizeBinaryTree)) {
+    note_consult(ConsultGroup::kFit);
+  }
   std::byte* b = (ddt_ == BlockStructure::kSizeBinaryTree)
                      ? tree_take(need, fit)
                      : list_take(need, fit);
@@ -438,6 +454,61 @@ std::byte* FreeIndex::tree_take(std::size_t need, FitAlgorithm fit) {
   }
   if (found != nullptr) tree_remove(found);
   return found;
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint save/restore
+// ---------------------------------------------------------------------------
+
+FreeIndex::Snapshot FreeIndex::save() const {
+  Snapshot snap;
+  snap.head = head_;
+  snap.tail = tail_;
+  snap.cursor = cursor_;
+  snap.root = root_;
+  snap.count = count_;
+  snap.bytes = bytes_;
+  snap.scan_steps = scan_steps_;
+  return snap;
+}
+
+void FreeIndex::restore(const Snapshot& snap, std::ptrdiff_t delta) {
+  const auto fix = [delta](std::byte* p) -> std::byte* {
+    return p == nullptr ? nullptr : p + delta;
+  };
+  head_ = fix(snap.head);
+  tail_ = fix(snap.tail);
+  cursor_ = fix(snap.cursor);
+  root_ = fix(snap.root);
+  count_ = snap.count;
+  bytes_ = snap.bytes;
+  scan_steps_ = snap.scan_steps;
+  if (delta == 0) return;  // restored slab bytes already hold valid links
+  if (ddt_ == BlockStructure::kSizeBinaryTree) {
+    // Each node is visited exactly once; the explicit stack tolerates the
+    // degenerate linear shapes an unbalanced BST can take.
+    std::vector<std::byte*> stack;
+    if (root_ != nullptr) stack.push_back(root_);
+    while (!stack.empty()) {
+      std::byte* b = stack.back();
+      stack.pop_back();
+      TreeNode* n = tree_node(b);
+      n->left = fix(n->left);
+      n->right = fix(n->right);
+      n->parent = fix(n->parent);
+      if (n->left != nullptr) stack.push_back(n->left);
+      if (n->right != nullptr) stack.push_back(n->right);
+    }
+    return;
+  }
+  // List walk: fix this node's links, then advance through the already
+  // fixed next pointer.  An SLL's prev word is untouched garbage by design.
+  for (std::byte* b = head_; b != nullptr;) {
+    ListNode* n = list_node(b);
+    n->next = fix(n->next);
+    if (doubly_linked()) n->prev = fix(n->prev);
+    b = n->next;
+  }
 }
 
 }  // namespace dmm::alloc

@@ -1,0 +1,73 @@
+#ifndef DMM_ALLOC_CONSULT_H
+#define DMM_ALLOC_CONSULT_H
+
+#include <cstdint>
+
+namespace dmm::alloc {
+
+/// Knob-consultation groups for the incremental-replay prefix analysis.
+///
+/// The checkpointed replay (core/checkpoint.h) needs to know, for a given
+/// trace and baseline config, the first event at which each *group* of
+/// decision-tree knobs could have changed the manager's behaviour.  A
+/// candidate that differs from the baseline only in knobs whose groups were
+/// never consulted before event N behaves bit-identically on the prefix
+/// [0, N) and may resume from a checkpoint taken there.
+///
+/// Hooks fire at the decision *points* — before the config value gates the
+/// outcome — so "first consult" is valid for any pair of configs sharing
+/// the hard (structure-defining) knobs:
+///
+///   * kFit      — a fit policy chose among >= 1 candidate free blocks.
+///   * kOrder    — a free block was filed into a non-empty index, where
+///                 insertion position depends on the ordering policy.
+///   * kSplit    — a reused free block was larger than the request, so the
+///                 split policy decides whether to carve a remainder.
+///   * kCoalesce — free-neighbour merging could run (alloc-side deferred
+///                 retry or free-side immediate merge).
+///   * kShrink   — an empty chunk could be returned to the system.
+struct ConsultSink;
+
+enum class ConsultGroup : int {
+  kFit = 0,
+  kOrder,
+  kSplit,
+  kCoalesce,
+  kShrink,
+};
+
+inline constexpr int kConsultGroups = 5;
+
+/// Per-replay record of the first event index at which each group was
+/// consulted.  `current_event` is advanced by the simulator; allocator
+/// hooks call note().  UINT64_MAX = never consulted (teardown included,
+/// because the simulator sets current_event = trace length before the
+/// final deallocation sweep).
+struct ConsultSink {
+  std::uint64_t current_event = 0;
+  std::uint64_t first_consult[kConsultGroups] = {
+      UINT64_MAX, UINT64_MAX, UINT64_MAX, UINT64_MAX, UINT64_MAX};
+
+  void note(ConsultGroup g) {
+    auto& slot = first_consult[static_cast<int>(g)];
+    if (current_event < slot) slot = current_event;
+  }
+};
+
+/// The active sink is thread-local: replays on distinct engine workers
+/// instrument independently, and code outside a checkpointed replay pays
+/// one TLS load + branch per hook.
+inline ConsultSink*& consult_sink_slot() {
+  thread_local ConsultSink* sink = nullptr;
+  return sink;
+}
+
+inline void set_consult_sink(ConsultSink* sink) { consult_sink_slot() = sink; }
+
+inline void note_consult(ConsultGroup g) {
+  if (ConsultSink* s = consult_sink_slot()) s->note(g);
+}
+
+}  // namespace dmm::alloc
+
+#endif  // DMM_ALLOC_CONSULT_H

@@ -66,6 +66,28 @@ class FreeIndex {
   [[nodiscard]] BlockStructure structure() const { return ddt_; }
   [[nodiscard]] FreeListOrder order() const { return order_; }
 
+  /// Checkpoint image of the index.  All pointers are raw block addresses
+  /// inside the arena slab *at capture time*; restore() relocates every
+  /// link word by the slab-base delta.  Structure knobs (ddt/order/layout/
+  /// fixed_size) are NOT captured — they belong to the restoring index's
+  /// own construction, which the checkpoint layer guarantees compatible.
+  struct Snapshot {
+    std::byte* head = nullptr;
+    std::byte* tail = nullptr;
+    std::byte* cursor = nullptr;
+    std::byte* root = nullptr;
+    std::size_t count = 0;
+    std::size_t bytes = 0;
+    std::uint64_t scan_steps = 0;
+  };
+
+  [[nodiscard]] Snapshot save() const;
+
+  /// Restores roots/counters from @p snap (pointers shifted by @p delta)
+  /// and walks the structure fixing every in-payload link word in place.
+  /// The slab bytes must already have been restored by the arena.
+  void restore(const Snapshot& snap, std::ptrdiff_t delta);
+
  private:
   // --- in-payload node overlays ---
   struct ListNode;  // next [, prev]

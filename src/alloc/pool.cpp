@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "dmm/alloc/consult.h"
 #include "dmm/alloc/size_class.h"
 
 namespace dmm::alloc {
@@ -132,6 +133,13 @@ std::byte* Pool::allocate_block(std::size_t block_size) {
     die("fixed-size pool asked for a foreign block size");
   }
   std::byte* block = index_.take_fit(block_size, cfg_.fit);
+  // Coalescing decision point (alloc side): a failed fit over a non-empty
+  // variable index is where a deferred-coalescing config would defragment;
+  // note it before the gates so any candidate differing in D-knobs or
+  // A5 (flexible) is known to diverge here.
+  if (block == nullptr && !is_fixed() && index_.count() > 0) {
+    note_consult(ConsultGroup::kCoalesce);
+  }
   if (block == nullptr &&
       cfg_.coalesce_when == CoalesceWhen::kDeferred &&
       (cfg_.flexible == FlexibleBlockSize::kCoalesceOnly ||
@@ -149,6 +157,11 @@ std::byte* Pool::allocate_block(std::size_t block_size) {
     chunk = host_.pool_find_chunk(block);
     const std::size_t have = block_size_of(block);
     final_size = have;
+    // Splitting decision point: a reused block larger than the request is
+    // where the E-knobs (and A5) choose whether to carve a remainder.
+    if (!is_fixed() && have > block_size) {
+      note_consult(ConsultGroup::kSplit);
+    }
     if (have > block_size && split_allowed(have, block_size)) {
       final_size = split_block(block, have, block_size, chunk);
     }
@@ -165,6 +178,23 @@ void Pool::free_block(std::byte* block, std::size_t block_size,
                       ChunkHeader* chunk) {
   if (chunk == nullptr || chunk->owner != this) {
     die("free_block: chunk does not belong to this pool");
+  }
+  // Coalescing decision point (free side): note only when a merge with a
+  // neighbour or the wilderness is actually possible — freeing a block
+  // with no free neighbour behaves identically under every D-knob, so it
+  // must not pin the divergence analysis to the first free.
+  if (!is_fixed()) {
+    std::byte* next = block + block_size;
+    bool merge_possible = next == chunk->wilderness();
+    if (!merge_possible && next < chunk->wilderness() &&
+        layout_.records_status() && layout_.read_free(next)) {
+      merge_possible = true;
+    }
+    if (!merge_possible && layout_.has_footer() &&
+        layout_.read_prev_free(block)) {
+      merge_possible = true;
+    }
+    if (merge_possible) note_consult(ConsultGroup::kCoalesce);
   }
   --live_blocks_;
   --chunk->live_blocks;
@@ -219,6 +249,12 @@ std::size_t Pool::try_coalesce(std::byte*& block, std::size_t size,
 }
 
 void Pool::make_free(std::byte* block, std::size_t size, ChunkHeader* chunk) {
+  // Immediate-coalescing configs retreat the wilderness here instead of
+  // threading a trailing free block — a D-knob decision point that is also
+  // reached from split_block's remainder, so note it before the gates.
+  if (!is_fixed() && block + size == chunk->wilderness()) {
+    note_consult(ConsultGroup::kCoalesce);
+  }
   const bool coalesce_now =
       cfg_.coalesce_when == CoalesceWhen::kAlways && !is_fixed() &&
       (cfg_.flexible == FlexibleBlockSize::kCoalesceOnly ||
@@ -251,6 +287,9 @@ void Pool::set_prev_free_of_next(std::byte* block, std::size_t size,
 }
 
 void Pool::release_chunk_if_empty(ChunkHeader* chunk) {
+  // Shrink decision point: an empty chunk is where the B4 adaptivity knob
+  // decides between returning memory and keeping it cached.
+  if (chunk->live_blocks == 0) note_consult(ConsultGroup::kShrink);
   if (cfg_.adaptivity != PoolAdaptivity::kGrowAndShrink) return;
   if (chunk->live_blocks != 0) return;
   // Drain the chunk's free blocks from the index, then hand it back.
@@ -377,6 +416,36 @@ void Pool::check_integrity() const {
     }
     if (live_walked != live_blocks_) die("integrity: pool live mismatch");
   }
+}
+
+Pool::Snapshot Pool::save() const {
+  Snapshot snap;
+  snap.chunks = chunks_;
+  snap.carve_chunk = carve_chunk_;
+  snap.chunk_count = chunk_count_;
+  snap.live_blocks = live_blocks_;
+  snap.index = index_.save();
+  return snap;
+}
+
+void Pool::restore(const Snapshot& snap, std::ptrdiff_t delta) {
+  const auto fix = [delta](ChunkHeader* c) -> ChunkHeader* {
+    return c == nullptr ? nullptr
+                        : reinterpret_cast<ChunkHeader*>(
+                              reinterpret_cast<std::byte*>(c) + delta);
+  };
+  chunks_ = fix(snap.chunks);
+  carve_chunk_ = fix(snap.carve_chunk);
+  chunk_count_ = snap.chunk_count;
+  live_blocks_ = snap.live_blocks;
+  // Fix each header's links before advancing through them; owner is a heap
+  // pointer (not slab-relative) and must be re-pointed at *this* pool.
+  for (ChunkHeader* c = chunks_; c != nullptr; c = c->next) {
+    c->owner = this;
+    c->next = fix(c->next);
+    c->prev = fix(c->prev);
+  }
+  index_.restore(snap.index, delta);
 }
 
 }  // namespace dmm::alloc

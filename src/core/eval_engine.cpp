@@ -1,10 +1,12 @@
 #include "dmm/core/eval_engine.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <utility>
 
 #include "dmm/alloc/custom_manager.h"
+#include "dmm/core/checkpoint.h"
 #include "dmm/sysmem/system_arena.h"
 
 namespace dmm::core {
@@ -198,66 +200,141 @@ EvalOutcome score_candidate(const AllocTrace& trace, const EvalJob& job) {
                            /*strict_accounting=*/false);
   out.sim = simulate(trace, mgr);
   out.work_steps = mgr.work_steps();
+  out.replayed_events = out.sim.events;
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// EvalEngine streaming session
+// ---------------------------------------------------------------------------
 
 std::vector<EvalOutcome> EvalEngine::evaluate(const AllocTrace& trace,
                                               const std::vector<EvalJob>& jobs,
                                               CandidateCache* cache) {
-  std::vector<EvalOutcome> outcomes(jobs.size());
-  std::vector<std::size_t> misses;
-  if (cache == nullptr) {
-    misses.reserve(jobs.size());
-    for (std::size_t i = 0; i < jobs.size(); ++i) misses.push_back(i);
-    run_batch(trace, jobs, misses, outcomes);
-    return outcomes;
-  }
-  // Cache pass on the coordinating thread: canonicalize each job once,
-  // resolve hits, and collapse duplicate configs within the batch onto one
-  // owner each — the same canonical form feeds the lookup, the dedup map,
-  // and the post-batch insert.
-  std::vector<alloc::DmmConfig> canon;
-  canon.reserve(jobs.size());
-  for (const EvalJob& job : jobs) canon.push_back(alloc::canonical(job.cfg));
-  std::unordered_map<alloc::DmmConfig, std::size_t, alloc::DmmConfigHash>
-      owner_of;
-  std::vector<std::pair<std::size_t, std::size_t>> dup_of;  // (dup, owner)
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    CandidateCache::Entry hit;
-    if (cache->lookup_canonical(canon[i], &hit)) {
-      outcomes[i].tag = jobs[i].tag;
-      outcomes[i].sim = hit.sim;
-      outcomes[i].work_steps = hit.work_steps;
-      outcomes[i].from_cache = true;
-      continue;
-    }
-    const auto [it, inserted] = owner_of.emplace(canon[i], i);
-    if (inserted) {
-      misses.push_back(i);
-    } else {
-      dup_of.emplace_back(i, it->second);
-    }
-  }
-  run_batch(trace, jobs, misses, outcomes);
-  for (const std::size_t i : misses) {
-    cache->insert_canonical(canon[i],
-                            {outcomes[i].sim, outcomes[i].work_steps});
-  }
-  for (const auto& [dup, owner] : dup_of) {
-    outcomes[dup] = outcomes[owner];
-    outcomes[dup].tag = jobs[dup].tag;
-    outcomes[dup].from_cache = true;
-  }
-  return outcomes;
+  stream_begin(trace, cache);
+  for (const EvalJob& job : jobs) stream_submit(job);
+  return stream_drain();
 }
 
-void SerialEngine::run_batch(const AllocTrace& trace,
-                             const std::vector<EvalJob>& jobs,
-                             const std::vector<std::size_t>& miss_indices,
-                             std::vector<EvalOutcome>& outcomes) {
-  for (const std::size_t i : miss_indices) {
-    outcomes[i] = score_candidate(trace, jobs[i]);
+void EvalEngine::stream_begin(const AllocTrace& trace, CandidateCache* cache) {
+  assert(!streaming_ && "one streaming session at a time per engine");
+  streaming_ = true;
+  stream_trace_ = &trace;
+  stream_cache_ = cache;
+  // The fingerprint keys the checkpoint store; skip the O(events) hash
+  // when no store is configured.
+  stream_trace_fp_ = checkpoints_ != nullptr ? trace.fingerprint() : 0;
+  slots_.clear();
+  pending_canon_.clear();
+  emitted_ = 0;
+}
+
+void EvalEngine::stream_submit(const EvalJob& job) {
+  assert(streaming_ && "stream_submit outside a session");
+  auto slot = std::make_unique<StreamSlot>();
+  slot->job = job;
+  slot->out.tag = job.tag;
+  if (stream_cache_ != nullptr) {
+    // Cache protocol on the coordinating thread: canonicalize once, then
+    // the same form feeds the lookup, the in-session dedup, and the
+    // at-emission insert.  Without a cache every job replays (matching the
+    // pre-engine Explorer), so no canonicalization happens at all.
+    slot->canon = alloc::canonical(job.cfg);
+    CandidateCache::Entry hit;
+    if (stream_cache_->lookup_canonical(slot->canon, &hit)) {
+      slot->kind = StreamSlot::Kind::kCached;
+      slot->out.sim = hit.sim;
+      slot->out.work_steps = hit.work_steps;
+      slot->out.from_cache = true;
+      slot->done.store(true, std::memory_order_relaxed);
+      slots_.push_back(std::move(slot));
+      return;
+    }
+    const auto [it, inserted] =
+        pending_canon_.emplace(slot->canon, slots_.size());
+    if (!inserted) {
+      // Same canonical form already in flight: resolve from its owner at
+      // emission instead of replaying twice.
+      slot->kind = StreamSlot::Kind::kDup;
+      slot->dup_of = it->second;
+      slots_.push_back(std::move(slot));
+      return;
+    }
   }
+  slot->kind = StreamSlot::Kind::kRun;
+  StreamSlot& ref = *slot;
+  slots_.push_back(std::move(slot));
+  dispatch(ref);
+}
+
+std::vector<EvalOutcome> EvalEngine::emit_ready(bool block) {
+  std::vector<EvalOutcome> out;
+  while (emitted_ < slots_.size()) {
+    StreamSlot& slot = *slots_[emitted_];
+    if (slot.kind == StreamSlot::Kind::kRun) {
+      if (!slot.done.load(std::memory_order_acquire)) {
+        if (!block) break;
+        wait_slot(slot);
+      }
+      // Inserts happen in submit order as slots are emitted, so the cache
+      // fills exactly as the old post-batch pass filled it.
+      if (stream_cache_ != nullptr) {
+        stream_cache_->insert_canonical(slot.canon,
+                                        {slot.out.sim, slot.out.work_steps});
+      }
+    } else if (slot.kind == StreamSlot::Kind::kDup) {
+      // The owner has a lower index, so it was emitted (and finished)
+      // before this slot is reached.
+      const StreamSlot& owner = *slots_[slot.dup_of];
+      slot.out.sim = owner.out.sim;
+      slot.out.work_steps = owner.out.work_steps;
+      slot.out.from_cache = true;
+    }
+    out.push_back(slot.out);
+    ++emitted_;
+  }
+  return out;
+}
+
+std::vector<EvalOutcome> EvalEngine::stream_poll() {
+  assert(streaming_ && "stream_poll outside a session");
+  return emit_ready(/*block=*/false);
+}
+
+std::vector<EvalOutcome> EvalEngine::stream_drain() {
+  assert(streaming_ && "stream_drain outside a session");
+  std::vector<EvalOutcome> out = emit_ready(/*block=*/true);
+  streaming_ = false;
+  stream_trace_ = nullptr;
+  stream_cache_ = nullptr;
+  slots_.clear();
+  pending_canon_.clear();
+  emitted_ = 0;
+  return out;
+}
+
+void EvalEngine::configure_incremental(std::shared_ptr<CheckpointStore> store,
+                                       bool verify) {
+  checkpoints_ = std::move(store);
+  verify_incremental_ = verify;
+}
+
+EvalOutcome EvalEngine::compute(const EvalJob& job) const {
+  if (checkpoints_ != nullptr) {
+    return score_candidate_incremental(*stream_trace_, job, *checkpoints_,
+                                       stream_trace_fp_, verify_incremental_);
+  }
+  return score_candidate(*stream_trace_, job);
+}
+
+void EvalEngine::dispatch(StreamSlot& slot) {
+  slot.out = compute(slot.job);
+  slot.done.store(true, std::memory_order_release);
+}
+
+void EvalEngine::wait_slot(StreamSlot& slot) {
+  // Inline dispatch already completed the slot.
+  (void)slot;
 }
 
 // ---------------------------------------------------------------------------
@@ -288,14 +365,32 @@ ThreadPoolEngine::~ThreadPoolEngine() {
   for (std::thread& w : workers_) w.join();
 }
 
-bool ThreadPoolEngine::next_job(std::size_t self, std::size_t* out) {
+void ThreadPoolEngine::dispatch(StreamSlot& slot) {
+  // Stripe submissions round-robin across the worker deques; stealing
+  // rebalances whatever the stripe got wrong.  The pop's queue mutex is
+  // the happens-before edge from the session state written by the
+  // coordinating thread to the worker's compute().
+  WorkerQueue& wq = *queues_[rr_next_];
+  rr_next_ = (rr_next_ + 1) % queues_.size();
+  {
+    const std::lock_guard<std::mutex> lock(wq.m);
+    wq.q.push_back(&slot);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    ++pending_;
+  }
+  work_ready_.notify_one();
+}
+
+EvalEngine::StreamSlot* ThreadPoolEngine::next_slot(std::size_t self) {
   {
     WorkerQueue& own = *queues_[self];
     const std::lock_guard<std::mutex> lock(own.m);
     if (!own.q.empty()) {
-      *out = own.q.back();
+      StreamSlot* slot = own.q.back();
       own.q.pop_back();
-      return true;
+      return slot;
     }
   }
   // Steal from the front of a sibling's deque (oldest job: least likely to
@@ -304,67 +399,43 @@ bool ThreadPoolEngine::next_job(std::size_t self, std::size_t* out) {
     WorkerQueue& victim = *queues_[(self + k) % queues_.size()];
     const std::lock_guard<std::mutex> lock(victim.m);
     if (!victim.q.empty()) {
-      *out = victim.q.front();
+      StreamSlot* slot = victim.q.front();
       victim.q.pop_front();
-      return true;
+      return slot;
     }
   }
-  return false;
+  return nullptr;
 }
 
 void ThreadPoolEngine::worker_main(std::size_t self) {
-  std::uint64_t seen_generation = 0;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(m_);
-      work_ready_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
+      work_ready_.wait(lock, [&] { return stop_ || pending_ > 0; });
       if (stop_) return;
-      seen_generation = generation_;
     }
-    std::size_t idx = 0;
-    while (next_job(self, &idx)) {
-      // Index-addressed slot: no two workers share one, so the only
-      // synchronisation a result needs is the remaining_ countdown.
-      (*outcomes_)[idx] = score_candidate(*trace_, (*jobs_)[idx]);
-      bool last = false;
+    while (StreamSlot* slot = next_slot(self)) {
       {
         const std::lock_guard<std::mutex> lock(m_);
-        last = --remaining_ == 0;
+        --pending_;
       }
-      if (last) batch_done_.notify_all();
+      slot->out = compute(slot->job);
+      slot->done.store(true, std::memory_order_release);
+      {
+        // Empty critical section: a waiter that saw done == false must
+        // reach its cv wait before the notification fires, or miss it.
+        const std::lock_guard<std::mutex> lock(m_);
+      }
+      done_cv_.notify_all();
     }
   }
 }
 
-void ThreadPoolEngine::run_batch(const AllocTrace& trace,
-                                 const std::vector<EvalJob>& jobs,
-                                 const std::vector<std::size_t>& miss_indices,
-                                 std::vector<EvalOutcome>& outcomes) {
-  if (miss_indices.empty()) return;
-  // Publish the batch state *before* any job becomes poppable: a straggler
-  // from the previous batch may grab a fresh job the moment it lands in a
-  // deque, and the pop's queue mutex is its only happens-before edge to
-  // these writes.
-  {
-    const std::lock_guard<std::mutex> lock(m_);
-    trace_ = &trace;
-    jobs_ = &jobs;
-    outcomes_ = &outcomes;
-    remaining_ = miss_indices.size();
-  }
-  // Stripe the batch round-robin across the worker deques; stealing
-  // rebalances whatever the stripe got wrong.
-  for (std::size_t n = 0; n < miss_indices.size(); ++n) {
-    WorkerQueue& wq = *queues_[n % queues_.size()];
-    const std::lock_guard<std::mutex> lock(wq.m);
-    wq.q.push_back(miss_indices[n]);
-  }
+void ThreadPoolEngine::wait_slot(StreamSlot& slot) {
+  if (slot.done.load(std::memory_order_acquire)) return;
   std::unique_lock<std::mutex> lock(m_);
-  ++generation_;
-  work_ready_.notify_all();
-  batch_done_.wait(lock, [&] { return remaining_ == 0; });
+  done_cv_.wait(lock,
+                [&] { return slot.done.load(std::memory_order_acquire); });
 }
 
 std::unique_ptr<EvalEngine> make_engine(unsigned num_threads) {

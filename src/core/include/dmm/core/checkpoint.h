@@ -1,0 +1,163 @@
+#ifndef DMM_CORE_CHECKPOINT_H
+#define DMM_CORE_CHECKPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dmm/alloc/allocator.h"
+#include "dmm/alloc/config.h"
+#include "dmm/alloc/consult.h"
+#include "dmm/core/eval_engine.h"
+#include "dmm/core/simulator.h"
+#include "dmm/core/trace.h"
+#include "dmm/sysmem/system_arena.h"
+
+namespace dmm::core {
+
+/// One resumable point of a baseline replay: the full deterministic
+/// simulation state after `event` trace events — the arena slab image, the
+/// manager's pool/free-list/chunk state (capture-time pointers, relocated
+/// on restore), and the simulator's own accumulators and live-object map.
+struct Checkpoint {
+  std::uint64_t event = 0;
+  sysmem::ArenaSnapshot arena;
+  std::shared_ptr<const alloc::AllocatorState> manager;
+  SimProgress progress;
+};
+
+/// Cross-candidate checkpoint store for incremental replay.
+///
+/// A *lineage* is one cold ("baseline") replay of a canonical decision
+/// vector over one trace, together with the checkpoints captured along it
+/// and its consult table: for each knob group (see alloc/consult.h), the
+/// first event at which the baseline's behaviour actually consulted that
+/// group's knobs.  A candidate differing from the baseline only in knobs
+/// whose groups were first consulted at or after event N provably replays
+/// the identical prefix [0, N) — so it can resume from the latest
+/// checkpoint at or before N instead of replaying cold.  A candidate whose
+/// differing groups were *never* consulted (teardown included) is served
+/// the lineage's final result outright (a "full skip").
+///
+/// The analysis is conservative: hard knobs (layout, pool structure,
+/// sizing thresholds, static preallocation) always invalidate at event 0,
+/// and every consult hook fires at the decision *point*, before the
+/// config gates, so divergence bounds hold for any candidate pair sharing
+/// the hard knobs.  Resumed scores are bit-identical to cold replays —
+/// verify mode (see score_candidate_incremental) cross-checks exactly
+/// that, field by field.
+///
+/// Thread-safe: plan/publish take one mutex; checkpoint payloads are
+/// immutable and shared by reference, so replays never hold the lock.
+class CheckpointStore {
+ public:
+  struct Config {
+    /// Events between periodic checkpoints (phase boundaries and the
+    /// end-of-trace point are always captured on top).
+    std::uint64_t capture_interval = 1024;
+    /// Also checkpoint at power-of-two events below the interval: the
+    /// first consult of each knob group — the divergence bound the
+    /// analysis produces — usually lands in the first few hundred events,
+    /// where an exponential grid puts a usable resume point within 2x of
+    /// every divergence for ~10 cheap (small-prefix) extra snapshots.
+    bool dense_prefix = true;
+    /// Baseline lineages kept per trace (least-recently-used eviction).
+    std::size_t max_lineages_per_trace = 8;
+  };
+
+  /// Monotonic counters (relaxed atomics; exact in single-thread runs).
+  struct Stats {
+    std::uint64_t captures = 0;       ///< checkpoints recorded
+    std::uint64_t cold_replays = 0;   ///< plans that found nothing to reuse
+    std::uint64_t resumes = 0;        ///< plans served from a checkpoint
+    std::uint64_t full_skips = 0;     ///< plans served a stored final result
+    std::uint64_t verified_ok = 0;    ///< verify passes that matched
+    std::uint64_t verify_failures = 0;  ///< verify passes that diverged
+  };
+
+  CheckpointStore();  ///< default Config
+  explicit CheckpointStore(Config cfg);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+  /// How to evaluate one candidate, per the divergence analysis.
+  struct Plan {
+    enum class Kind : std::uint8_t { kCold, kResume, kFullSkip };
+    Kind kind = Kind::kCold;
+    std::shared_ptr<const Checkpoint> checkpoint;  ///< kResume
+    SimResult final_sim{};                         ///< kFullSkip
+    std::uint64_t final_work = 0;                  ///< kFullSkip
+  };
+
+  /// Builds the per-trace divergence tables on first touch (one linear
+  /// scan).  Must be called before plan()/publish() for the trace.
+  void prepare_trace(std::uint64_t trace_fingerprint, const AllocTrace& trace);
+
+  /// Picks the cheapest provably-safe evaluation for @p canon.
+  [[nodiscard]] Plan plan(std::uint64_t trace_fingerprint,
+                          const alloc::DmmConfig& canon);
+
+  /// Records a finished cold replay as a new baseline lineage (first
+  /// publisher of a canonical vector wins; over-full tables evict the
+  /// least-recently-used lineage).
+  void publish(std::uint64_t trace_fingerprint, const alloc::DmmConfig& canon,
+               const alloc::ConsultSink& consult,
+               std::vector<std::shared_ptr<const Checkpoint>> checkpoints,
+               const SimResult& final_sim, std::uint64_t final_work);
+
+  void note_verified(bool ok);
+
+ private:
+  struct Lineage {
+    alloc::DmmConfig canon{};
+    std::uint64_t first_consult[alloc::kConsultGroups] = {};
+    std::vector<std::shared_ptr<const Checkpoint>> checkpoints;  ///< by event
+    SimResult final_sim{};
+    std::uint64_t final_work = 0;
+    std::uint64_t last_used = 0;
+  };
+  struct TraceEntry {
+    bool prepared = false;
+    std::uint64_t total_events = 0;
+    /// Trace-pure routing table: request size -> first event that allocates
+    /// it (divergence bound for big_request_bytes threshold moves).
+    std::unordered_map<std::uint64_t, std::uint64_t> first_alloc_of_size;
+    std::vector<std::unique_ptr<Lineage>> lineages;
+  };
+
+  [[nodiscard]] static std::uint64_t divergence_event(
+      const TraceEntry& entry, const Lineage& lineage,
+      const alloc::DmmConfig& canon);
+
+  Config cfg_;
+  mutable std::mutex m_;
+  std::unordered_map<std::uint64_t, TraceEntry> traces_;
+  std::uint64_t use_tick_ = 0;
+
+  std::atomic<std::uint64_t> captures_{0};
+  std::atomic<std::uint64_t> cold_replays_{0};
+  std::atomic<std::uint64_t> resumes_{0};
+  std::atomic<std::uint64_t> full_skips_{0};
+  std::atomic<std::uint64_t> verified_ok_{0};
+  std::atomic<std::uint64_t> verify_failures_{0};
+};
+
+/// Scores @p job against @p trace through @p store: plans via the
+/// divergence analysis, then cold-replays (capturing a new lineage),
+/// resumes from a checkpoint, or serves a stored final result.  With
+/// @p verify every resumed/skipped evaluation also replays cold and all
+/// deterministic SimResult fields plus work_steps are compared bit for
+/// bit; the cold result is returned and mismatches are counted on the
+/// store.  Safe from any thread.
+[[nodiscard]] EvalOutcome score_candidate_incremental(
+    const AllocTrace& trace, const EvalJob& job, CheckpointStore& store,
+    std::uint64_t trace_fingerprint, bool verify);
+
+}  // namespace dmm::core
+
+#endif  // DMM_CORE_CHECKPOINT_H

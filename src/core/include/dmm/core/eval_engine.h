@@ -28,11 +28,19 @@ struct EvalJob {
 
 /// What scoring one job produced.  `from_cache` marks evaluations served
 /// without a trace replay (memoized, or a duplicate within the batch).
+///
+/// `replayed_events` counts the trace events this outcome actually replayed
+/// (full event count for a cold replay, the suffix length for a resumed
+/// one, 0 for cache hits and checkpoint full-skips); `resumed` marks
+/// outcomes served via the incremental-replay checkpoint store.  Neither
+/// affects the score: `sim`/`work_steps` are bit-identical to a cold replay.
 struct EvalOutcome {
   std::uint64_t tag = 0;
   SimResult sim{};
   std::uint64_t work_steps = 0;
   bool from_cache = false;
+  std::uint64_t replayed_events = 0;
+  bool resumed = false;
 };
 
 /// The caching seam every engine consults during evaluate(): a memoized
@@ -279,18 +287,28 @@ struct FamilyEvalMember {
     std::uint64_t tag, const std::vector<EvalOutcome>& member_outcomes,
     const std::vector<FamilyEvalMember>& members, FamilyAggregate aggregate);
 
-/// The seam every evaluation backend plugs into: the Explorer submits
-/// batches of independent candidate evaluations and gets outcomes back
-/// *in job order*, bit-identical across engines.
+class CheckpointStore;  // core/checkpoint.h
+
+/// The seam every evaluation backend plugs into.  The primitive is a
+/// *streaming session*: the search opens one per candidate wave
+/// (stream_begin), submits jobs as it generates them (stream_submit), and
+/// collects outcomes either opportunistically (poll) or at the barrier
+/// (stream_drain).  evaluate() is the classic batch entry point, now just
+/// begin + submit-all + drain — outcomes still come back in job order,
+/// bit-identical across engines and thread counts.
 ///
-/// The base class owns the caching protocol so all engines agree on it:
-/// each job is canonicalized exactly once, cache lookups and within-batch
-/// deduplication happen up front on the coordinating thread against that
-/// canonical form, only the unique misses reach run_batch(), and results
-/// are inserted afterwards.  That makes `from_cache` (and hence the
-/// Explorer's simulations/cache_hits accounting) a function of the job
-/// stream and prior cache contents alone — never of thread count or
-/// scheduling.
+/// The base class owns the caching protocol on the coordinating thread so
+/// all engines agree on it: each job is canonicalized exactly once at
+/// submit, cache lookups and in-session deduplication happen against that
+/// canonical form before anything is dispatched, only unique misses reach
+/// the workers, and results are inserted back in submit order as they are
+/// emitted.  That makes `from_cache` (and hence the Explorer's
+/// simulations/cache_hits accounting) a function of the job stream and
+/// prior cache contents alone — never of thread count or scheduling.
+///
+/// Overlap comes from dispatch() being asynchronous in pooled engines: the
+/// search thread keeps generating/submitting candidates while workers
+/// replay earlier ones.
 class EvalEngine {
  public:
   virtual ~EvalEngine() = default;
@@ -306,33 +324,90 @@ class EvalEngine {
       const AllocTrace& trace, const std::vector<EvalJob>& jobs,
       CandidateCache* cache = nullptr);
 
+  /// Opens a streaming session.  One session at a time per engine; the
+  /// trace and cache must outlive it.
+  void stream_begin(const AllocTrace& trace, CandidateCache* cache = nullptr);
+  /// Submits one job to the open session (cache lookup + dedup happen now,
+  /// misses start evaluating immediately on pooled engines).
+  void stream_submit(const EvalJob& job);
+  /// Non-blocking: emits the longest prefix of submitted-but-unemitted
+  /// jobs whose outcomes are complete, in submit order (possibly empty).
+  [[nodiscard]] std::vector<EvalOutcome> stream_poll();
+  /// Blocks until every submitted job is done, emits the rest (in submit
+  /// order), and closes the session.
+  [[nodiscard]] std::vector<EvalOutcome> stream_drain();
+
+  /// Routes this engine's replays through the incremental checkpoint
+  /// store (nullptr restores cold replays).  With @p verify every resumed
+  /// or skipped evaluation also replays cold and the results are compared
+  /// bit-for-bit (the cold result wins; mismatches are counted on the
+  /// store).  Takes effect at the next stream_begin/evaluate.
+  void configure_incremental(std::shared_ptr<CheckpointStore> store,
+                             bool verify = false);
+
+  [[nodiscard]] const std::shared_ptr<CheckpointStore>& checkpoint_store()
+      const {
+    return checkpoints_;
+  }
+
  protected:
-  /// Replays jobs[i] for every i in @p miss_indices, writing outcomes[i].
-  /// Indices are distinct; slots may be filled in any order.
-  virtual void run_batch(const AllocTrace& trace,
-                         const std::vector<EvalJob>& jobs,
-                         const std::vector<std::size_t>& miss_indices,
-                         std::vector<EvalOutcome>& outcomes) = 0;
+  /// One submitted job's lifecycle inside a session.  Slots live in
+  /// unique_ptrs, so their addresses are stable across submits and safe to
+  /// hand to workers.
+  struct StreamSlot {
+    EvalJob job{};
+    alloc::DmmConfig canon{};
+    enum class Kind : std::uint8_t { kRun, kCached, kDup } kind = Kind::kRun;
+    std::size_t dup_of = 0;  ///< owner slot index when kind == kDup
+    EvalOutcome out{};
+    std::atomic<bool> done{false};
+  };
+
+  /// Starts computing slot.out for a kRun slot.  The default runs compute()
+  /// inline on the calling thread; pooled engines enqueue instead.
+  virtual void dispatch(StreamSlot& slot);
+  /// Blocks until slot.done (default: no-op — inline dispatch completed).
+  virtual void wait_slot(StreamSlot& slot);
+
+  /// Scores one job against the session trace, honoring the incremental
+  /// configuration.  Safe from any thread during a session.
+  [[nodiscard]] EvalOutcome compute(const EvalJob& job) const;
+
+ private:
+  /// Emits ready outcomes from the session front; blocks per slot iff
+  /// @p block (drain) instead of stopping at the first unfinished one.
+  [[nodiscard]] std::vector<EvalOutcome> emit_ready(bool block);
+
+  // Session state (coordinating thread only, except slot outs/done flags).
+  std::vector<std::unique_ptr<StreamSlot>> slots_;
+  std::unordered_map<alloc::DmmConfig, std::size_t, alloc::DmmConfigHash>
+      pending_canon_;
+  std::size_t emitted_ = 0;
+  const AllocTrace* stream_trace_ = nullptr;
+  CandidateCache* stream_cache_ = nullptr;
+  std::uint64_t stream_trace_fp_ = 0;
+  bool streaming_ = false;
+
+  std::shared_ptr<CheckpointStore> checkpoints_;
+  bool verify_incremental_ = false;
 };
 
-/// In-thread reference engine: evaluates misses one after the other.
+/// In-thread reference engine: dispatch computes inline (the base default),
+/// so a session's jobs are evaluated synchronously at submit.
 class SerialEngine : public EvalEngine {
  public:
   [[nodiscard]] std::string name() const override { return "serial"; }
-
- protected:
-  void run_batch(const AllocTrace& trace, const std::vector<EvalJob>& jobs,
-                 const std::vector<std::size_t>& miss_indices,
-                 std::vector<EvalOutcome>& outcomes) override;
 };
 
 /// Persistent std::thread pool with per-worker work-stealing deques.
 ///
+/// dispatch() enqueues the slot round-robin across workers and returns, so
+/// the coordinating thread overlaps candidate generation with evaluation.
 /// Each worker drains its own deque from the back and steals from the
 /// front of its siblings' when empty — candidate replays vary wildly in
 /// cost (a config that thrashes the free index replays 10x slower), so
-/// static striping alone leaves workers idle.  Outcomes are written into
-/// index-addressed slots, keeping result order deterministic.
+/// static striping alone leaves workers idle.  Outcomes land in the
+/// submitting session's slots, keeping result order deterministic.
 class ThreadPoolEngine : public EvalEngine {
  public:
   /// @param num_threads  worker count; 0 = one per hardware thread.
@@ -348,33 +423,30 @@ class ThreadPoolEngine : public EvalEngine {
   }
 
  protected:
-  void run_batch(const AllocTrace& trace, const std::vector<EvalJob>& jobs,
-                 const std::vector<std::size_t>& miss_indices,
-                 std::vector<EvalOutcome>& outcomes) override;
+  void dispatch(StreamSlot& slot) override;
+  void wait_slot(StreamSlot& slot) override;
 
  private:
   void worker_main(std::size_t self);
-  /// Pops from own deque (back) or steals (front); false when drained.
-  [[nodiscard]] bool next_job(std::size_t self, std::size_t* out);
+  /// Pops from own deque (back) or steals (front); null when drained.
+  [[nodiscard]] StreamSlot* next_slot(std::size_t self);
 
-  // Per-worker job deques; each guarded by its own mutex so thieves only
+  // Per-worker slot deques; each guarded by its own mutex so thieves only
   // contend with the owner of the deque they rob.
   struct WorkerQueue {
     std::mutex m;
-    std::deque<std::size_t> q;
+    std::deque<StreamSlot*> q;
   };
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
 
-  // Batch handoff state, guarded by m_.
+  // Wakeup state, guarded by m_.
   std::mutex m_;
   std::condition_variable work_ready_;
-  std::condition_variable batch_done_;
-  const AllocTrace* trace_ = nullptr;
-  const std::vector<EvalJob>* jobs_ = nullptr;
-  std::vector<EvalOutcome>* outcomes_ = nullptr;
-  std::size_t remaining_ = 0;
-  std::uint64_t generation_ = 0;
+  std::condition_variable done_cv_;
+  std::size_t pending_ = 0;  ///< slots enqueued, not yet popped
   bool stop_ = false;
+
+  std::size_t rr_next_ = 0;  ///< coordinating thread only
 
   std::vector<std::thread> workers_;
 };

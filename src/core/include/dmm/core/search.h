@@ -131,6 +131,23 @@ struct ExplorerOptions {
   /// on for coverage, leave it off for an apples-to-apples budget
   /// comparison.
   bool canonical_prune_random = false;
+  /// Incremental replay: capture simulation checkpoints during cold
+  /// (baseline) replays and, for candidates that provably share a replay
+  /// prefix with a baseline (the consult-group divergence analysis in
+  /// core/checkpoint.h), resume from the latest safe checkpoint — or skip
+  /// the replay entirely when no differing knob group is ever consulted.
+  /// Scores and search outcomes are bit-identical with this on or off;
+  /// only the replayed-event counters shift.
+  bool incremental = false;
+  /// Cross-check every resumed/skipped evaluation against a cold replay
+  /// (all deterministic SimResult fields plus work_steps, bit for bit) and
+  /// count mismatches on the store.  Debug/CI knob: it forfeits the
+  /// speedup, so leave it off in production runs.
+  bool verify_incremental = false;
+  /// The checkpoint store to use when `incremental` is set.  Share one
+  /// across explorers to reuse baselines between searches; when null the
+  /// Explorer creates a private store with default limits.
+  std::shared_ptr<CheckpointStore> checkpoints;
   /// The strategy Explorer::run() (no arguments) executes; the CLIs'
   /// `--search` flag and MethodologyOptions land here.  The explicit
   /// explore()/exhaustive()/random_search() calls ignore it.
@@ -203,6 +220,21 @@ struct ExplorationResult {
   /// "evals-to-best".  Streaming searches improve mid-run; ordered walks
   /// commit their completion only at the end, so theirs equals the total.
   std::uint64_t evals_to_best = 0;
+  /// Trace events actually replayed across all simulations: the full
+  /// event count for a cold replay, only the resumed suffix for an
+  /// incremental one, zero for cache hits and full skips.  With
+  /// ExplorerOptions::incremental off this is simulations x trace length;
+  /// on, the gap between the two is the replay work saved.  Timing-
+  /// dependent across worker threads (which candidate replays cold first
+  /// can differ), unlike every score above.
+  std::uint64_t replayed_events = 0;
+  /// Evaluations served by resuming from a checkpoint or by a stored
+  /// final result (subset of simulations; 0 with incremental off).
+  std::uint64_t resumed_evals = 0;
+  /// Subset of resumed_evals served a stored final result with no replay
+  /// at all (the divergence analysis proved no differing knob group is
+  /// ever consulted).
+  std::uint64_t full_skips = 0;
   /// Per-child attribution of a PortfolioSearch run, in child order
   /// (empty for every other strategy).  `steps` holds the winning child's
   /// ordered-walk log when that child is an ordered strategy.
@@ -298,6 +330,22 @@ class SearchContext {
   [[nodiscard]] std::vector<EvalOutcome> evaluate(
       const std::vector<EvalJob>& jobs);
 
+  /// Streaming evaluation: submit() hands one job to the engine
+  /// immediately — workers start replaying it while the strategy is still
+  /// generating siblings — poll() returns whatever finished outcomes form
+  /// a ready prefix (submit order, maybe empty), and drain() blocks for
+  /// the rest and closes the stream.  Outcomes are emitted, charged, and
+  /// cache-inserted in submit order, so a submit-per-job + drain sequence
+  /// is bit-identical to one evaluate() call on the same jobs — including
+  /// the simulations/cache_hits split.  In family mode submissions are
+  /// buffered and drain() folds them as one evaluate_family() batch
+  /// (family scoring needs whole batches; poll() stays empty), so
+  /// strategies stream unconditionally.  Do not call evaluate() while a
+  /// stream is open (i.e. between the first submit() and the drain()).
+  void submit(const EvalJob& job);
+  [[nodiscard]] std::vector<EvalOutcome> poll();
+  [[nodiscard]] std::vector<EvalOutcome> drain();
+
   /// Evaluations charged so far — the budget every streaming strategy
   /// meters against.  One charge per scored candidate: replay-or-hit in
   /// single-trace mode, one whole-family fold in family mode.
@@ -342,6 +390,10 @@ class SearchContext {
   [[nodiscard]] std::vector<EvalOutcome> evaluate_family(
       const std::vector<EvalJob>& jobs);
 
+  /// Per-outcome accounting shared by evaluate()/poll()/drain(): the
+  /// simulations vs cache_hits split plus the incremental-replay counters.
+  void account(const EvalOutcome& out);
+
   const AllocTrace* trace_ = nullptr;  ///< single-trace mode; else family_
   std::vector<FamilyEvalMember> family_;
   FamilyAggregate aggregate_ = FamilyAggregate::kMaxPeak;
@@ -356,6 +408,9 @@ class SearchContext {
   BestTracker tracker_;
   ExplorationResult result_;
   std::uint64_t charged_ = 0;
+  bool stream_open_ = false;
+  /// Family-mode streaming: jobs buffered between submit() and drain().
+  std::vector<EvalJob> stream_pending_;
   bool competitive_ = false;
   std::unordered_set<alloc::DmmConfig, alloc::DmmConfigHash> canonical_seen_;
 };

@@ -138,19 +138,62 @@ SearchContext::SearchContext(std::vector<FamilyEvalMember> family,
   }
 }
 
+void SearchContext::account(const EvalOutcome& out) {
+  if (out.from_cache) {
+    ++result_.cache_hits;
+  } else {
+    ++result_.simulations;
+  }
+  result_.replayed_events += out.replayed_events;
+  if (out.resumed) {
+    ++result_.resumed_evals;
+    if (out.replayed_events == 0) ++result_.full_skips;
+  }
+}
+
 std::vector<EvalOutcome> SearchContext::evaluate(
     const std::vector<EvalJob>& jobs) {
   if (trace_ == nullptr) return evaluate_family(jobs);
   std::vector<EvalOutcome> outcomes =
       engine_.evaluate(*trace_, jobs, cache_.ptr);
-  for (const EvalOutcome& out : outcomes) {
-    if (out.from_cache) {
-      ++result_.cache_hits;
-    } else {
-      ++result_.simulations;
-    }
-  }
+  for (const EvalOutcome& out : outcomes) account(out);
   charged_ += outcomes.size();
+  return outcomes;
+}
+
+void SearchContext::submit(const EvalJob& job) {
+  if (trace_ == nullptr) {
+    // Family mode: member scoring folds whole batches — buffer for drain().
+    stream_pending_.push_back(job);
+    return;
+  }
+  if (!stream_open_) {
+    engine_.stream_begin(*trace_, cache_.ptr);
+    stream_open_ = true;
+  }
+  engine_.stream_submit(job);
+}
+
+std::vector<EvalOutcome> SearchContext::poll() {
+  if (!stream_open_) return {};
+  std::vector<EvalOutcome> outcomes = engine_.stream_poll();
+  for (const EvalOutcome& out : outcomes) account(out);
+  charged_ += outcomes.size();
+  return outcomes;
+}
+
+std::vector<EvalOutcome> SearchContext::drain() {
+  if (trace_ == nullptr) {
+    std::vector<EvalJob> jobs = std::move(stream_pending_);
+    stream_pending_.clear();
+    if (jobs.empty()) return {};
+    return evaluate_family(jobs);
+  }
+  if (!stream_open_) return {};
+  std::vector<EvalOutcome> outcomes = engine_.stream_drain();
+  for (const EvalOutcome& out : outcomes) account(out);
+  charged_ += outcomes.size();
+  stream_open_ = false;
   return outcomes;
 }
 
@@ -189,13 +232,7 @@ std::vector<EvalOutcome> SearchContext::evaluate_family(
     for (std::size_t m = 0; m < family_.size(); ++m) {
       per_member.push_back(engine_.evaluate(*family_[m].trace, miss_jobs,
                                             member_caches_[m]->ptr));
-      for (const EvalOutcome& out : per_member.back()) {
-        if (out.from_cache) {
-          ++result_.cache_hits;
-        } else {
-          ++result_.simulations;
-        }
-      }
+      for (const EvalOutcome& out : per_member.back()) account(out);
     }
     std::vector<EvalOutcome> member_slice(family_.size());
     for (std::size_t k = 0; k < miss.size(); ++k) {
@@ -280,7 +317,11 @@ void GreedySearch::run(SearchContext& ctx) {
   for (TreeId tree : order_) {
     StepLog step;
     step.tree = tree;
-    std::vector<EvalJob> jobs;
+    // Submit-as-generated: each admissible leaf's repaired completion is
+    // handed to the engine the moment it exists, so worker threads replay
+    // early candidates while the walk is still repairing later ones.
+    // Outcomes come back in submit order, so the fold below is the same
+    // left fold a batched evaluate() would feed.
     for (int leaf = 0; leaf < leaf_count(tree); ++leaf) {
       CandidateScore cand;
       cand.leaf = leaf;
@@ -291,12 +332,12 @@ void GreedySearch::run(SearchContext& ctx) {
         set_leaf(probe, tree, leaf);
         DecidedMask probe_decided = decided;
         probe_decided[static_cast<std::size_t>(tree)] = true;
-        jobs.push_back({Constraints::repair(probe, probe_decided),
-                        static_cast<std::uint64_t>(leaf)});
+        ctx.submit({Constraints::repair(probe, probe_decided),
+                    static_cast<std::uint64_t>(leaf)});
       }
       step.candidates.push_back(cand);
     }
-    const std::vector<EvalOutcome> outcomes = ctx.evaluate(jobs);
+    const std::vector<EvalOutcome> outcomes = ctx.drain();
     BestTracker best;
     int best_leaf = -1;
     for (const EvalOutcome& out : outcomes) {
@@ -358,7 +399,6 @@ void BeamSearch::run(SearchContext& ctx) {
       DmmConfig child{};
     };
     std::vector<Expansion> expansions;
-    std::vector<EvalJob> jobs;
     std::vector<StepLog> beam_steps(beams.size());
     for (std::size_t b = 0; b < beams.size(); ++b) {
       StepLog& step = beam_steps[b];
@@ -374,15 +414,16 @@ void BeamSearch::run(SearchContext& ctx) {
           DecidedMask probe_decided = decided;
           probe_decided[static_cast<std::size_t>(tree)] = true;
           // The child *is* the probe before repair: the partial vector
-          // with this leaf committed.
-          jobs.push_back({Constraints::repair(child, probe_decided),
-                          expansions.size()});
+          // with this leaf committed.  Submitted as generated (see the
+          // greedy walk); drain() returns submit order, matching tags.
+          ctx.submit({Constraints::repair(child, probe_decided),
+                      expansions.size()});
           expansions.push_back({b, leaf, child});
         }
         step.candidates.push_back(cand);
       }
     }
-    const std::vector<EvalOutcome> outcomes = ctx.evaluate(jobs);
+    const std::vector<EvalOutcome> outcomes = ctx.drain();
     std::vector<const EvalOutcome*> scored(expansions.size(), nullptr);
     for (const EvalOutcome& out : outcomes) {
       const Expansion& e = expansions[out.tag];

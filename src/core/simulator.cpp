@@ -1,53 +1,200 @@
 #include "dmm/core/simulator.h"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_map>
 
+#include "dmm/alloc/consult.h"
+
 namespace dmm::core {
 
+namespace {
+
+struct LiveObj {
+  void* ptr;
+  std::uint32_t size;
+};
+
+/// Live-object map with a dense-id flat-vector fast path.
+///
+/// Traces recorded by the workloads number objects densely from 0, so the
+/// common case is a direct-indexed vector (ptr == nullptr marks an empty
+/// slot; a successful allocation is never null).  Sparse or adversarial id
+/// spaces fall back to the hash map the simulator always used.  Both paths
+/// preserve the exact duplicate-id semantics of the original map code:
+/// emplace keeps the first pointer, lookups miss on absent ids.
+class LiveMap {
+ public:
+  LiveMap(bool dense, std::uint32_t max_id) : dense_(dense) {
+    if (dense_) {
+      flat_.assign(static_cast<std::size_t>(max_id) + 1, LiveObj{nullptr, 0});
+    } else {
+      map_.reserve(1024);
+    }
+  }
+
+  void emplace(std::uint32_t id, void* ptr, std::uint32_t size) {
+    if (dense_) {
+      LiveObj& slot = flat_[id];
+      if (slot.ptr == nullptr) slot = {ptr, size};
+      return;
+    }
+    map_.emplace(id, LiveObj{ptr, size});
+  }
+
+  [[nodiscard]] LiveObj* find(std::uint32_t id) {
+    if (dense_) {
+      if (id >= flat_.size() || flat_[id].ptr == nullptr) return nullptr;
+      return &flat_[id];
+    }
+    auto it = map_.find(id);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  void erase(std::uint32_t id) {
+    if (dense_) {
+      flat_[id].ptr = nullptr;
+    } else {
+      map_.erase(id);
+    }
+  }
+
+  /// Id-sorted view of the live set (checkpoint capture + teardown order).
+  [[nodiscard]] std::vector<SimLiveObj> sorted() const {
+    std::vector<SimLiveObj> out;
+    if (dense_) {
+      for (std::size_t id = 0; id < flat_.size(); ++id) {
+        if (flat_[id].ptr != nullptr) {
+          out.push_back({static_cast<std::uint32_t>(id), flat_[id].ptr,
+                         flat_[id].size});
+        }
+      }
+      return out;
+    }
+    out.reserve(map_.size());
+    for (const auto& [id, obj] : map_) out.push_back({id, obj.ptr, obj.size});
+    std::sort(out.begin(), out.end(),
+              [](const SimLiveObj& a, const SimLiveObj& b) {
+                return a.id < b.id;
+              });
+    return out;
+  }
+
+ private:
+  bool dense_;
+  std::vector<LiveObj> flat_;
+  std::unordered_map<std::uint32_t, LiveObj> map_;
+};
+
+}  // namespace
+
 SimResult simulate(const AllocTrace& trace, alloc::Allocator& manager,
-                   std::vector<TimelinePoint>* timeline,
-                   std::uint64_t timeline_stride) {
+                   const SimReplayOptions& opts) {
   SimResult r;
   const sysmem::SystemArena& arena = manager.arena();
-  struct LiveObj {
-    void* ptr;
-    std::uint32_t size;
-  };
-  std::unordered_map<std::uint32_t, LiveObj> live;
-  live.reserve(1024);
+  const auto& events = trace.events();
+  const std::uint64_t total = events.size();
+
+  // Dense-id sizing pre-pass: one linear scan is far cheaper than the
+  // replay it sizes.  "Dense" = the id space is within 2x of the alloc
+  // count, so the flat vector wastes at most ~half its slots.
+  std::uint32_t max_id = 0;
+  std::uint64_t alloc_events = 0;
+  for (const AllocEvent& e : events) {
+    if (e.op == AllocEvent::Op::kAlloc) {
+      ++alloc_events;
+      if (e.id > max_id) max_id = e.id;
+    }
+  }
+  const bool dense =
+      static_cast<std::uint64_t>(max_id) + 1 <= 2 * alloc_events + 16;
+  LiveMap live(dense, max_id);
+
   double footprint_sum = 0.0;
   std::size_t live_bytes = 0;
-  const auto t0 = std::chrono::steady_clock::now();
   std::uint16_t current_phase = 0;
-  for (const AllocEvent& e : trace.events()) {
+  std::uint64_t start = 0;
+  if (opts.resume != nullptr) {
+    const SimProgress& p = *opts.resume;
+    start = p.events;
+    current_phase = p.phase;
+    footprint_sum = p.footprint_sum;
+    live_bytes = p.live_bytes;
+    r.peak_live_bytes = p.peak_live_bytes;
+    r.peak_footprint = p.peak_footprint;
+    r.failed_allocs = p.failed_allocs;
+    r.events = p.events;
+    for (const SimLiveObj& obj : p.live) {
+      live.emplace(obj.id,
+                   static_cast<std::byte*>(obj.ptr) + opts.resume_delta,
+                   obj.size);
+    }
+  }
+
+  alloc::ConsultSink* const prev_sink = alloc::consult_sink_slot();
+  if (opts.consult != nullptr) alloc::set_consult_sink(opts.consult);
+
+  const auto capture_now = [&] {
+    SimProgress p;
+    p.events = r.events;
+    p.phase = current_phase;
+    p.footprint_sum = footprint_sum;
+    p.live_bytes = live_bytes;
+    p.peak_live_bytes = r.peak_live_bytes;
+    p.peak_footprint = r.peak_footprint;
+    p.failed_allocs = r.failed_allocs;
+    p.live = live.sorted();
+    opts.capture(p);
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = start; i < total; ++i) {
+    const AllocEvent& e = events[i];
     if (e.phase != current_phase) {
+      // Phase boundary: the checkpoint represents the state *before* the
+      // new phase's first event, still under the old phase.
+      if (opts.capture && r.events > 0) capture_now();
       current_phase = e.phase;
       manager.set_phase(current_phase);
     }
+    if (opts.consult != nullptr) opts.consult->current_event = r.events;
     if (e.op == AllocEvent::Op::kAlloc) {
       void* p = manager.allocate(e.size);
       if (p == nullptr) {
         ++r.failed_allocs;
       } else {
-        live.emplace(e.id, LiveObj{p, e.size});
+        live.emplace(e.id, p, e.size);
         live_bytes += e.size;
         if (live_bytes > r.peak_live_bytes) r.peak_live_bytes = live_bytes;
       }
     } else {
-      auto it = live.find(e.id);
-      if (it != live.end()) {
-        manager.deallocate(it->second.ptr);
-        live_bytes -= it->second.size;
-        live.erase(it);
+      LiveObj* obj = live.find(e.id);
+      if (obj != nullptr) {
+        manager.deallocate(obj->ptr);
+        live_bytes -= obj->size;
+        live.erase(e.id);
       }
     }
     const std::size_t fp = arena.footprint();
     footprint_sum += static_cast<double>(fp);
     if (fp > r.peak_footprint) r.peak_footprint = fp;
     ++r.events;
-    if (timeline != nullptr && (r.events % timeline_stride) == 0) {
-      timeline->push_back({r.events, fp, manager.stats().live_bytes});
+    if (opts.timeline != nullptr && opts.timeline_stride != 0 &&
+        (r.events % opts.timeline_stride) == 0) {
+      opts.timeline->push_back({r.events, fp, manager.stats().live_bytes});
+    }
+    if (opts.capture && r.events < total) {
+      const bool interval_point = opts.capture_interval != 0 &&
+                                  (r.events % opts.capture_interval) == 0;
+      // Early divergences cluster in the first few hundred events (the
+      // first consult of each knob group); exponential spacing puts a
+      // resume point near every one of them for ~10 cheap extra snapshots.
+      const bool prefix_point =
+          opts.capture_dense_prefix &&
+          r.events < (opts.capture_interval != 0 ? opts.capture_interval
+                                                 : std::uint64_t{4096}) &&
+          (r.events & (r.events - 1)) == 0;
+      if (interval_point || prefix_point) capture_now();
     }
   }
   const auto t1 = std::chrono::steady_clock::now();
@@ -55,14 +202,29 @@ SimResult simulate(const AllocTrace& trace, alloc::Allocator& manager,
   r.final_footprint = arena.footprint();
   r.avg_footprint =
       r.events > 0 ? footprint_sum / static_cast<double>(r.events) : 0.0;
-  if (timeline != nullptr) {
-    timeline->push_back(
+  if (opts.timeline != nullptr) {
+    opts.timeline->push_back(
         {r.events, r.final_footprint, manager.stats().live_bytes});
   }
+  // End-of-trace checkpoint: everything replayed, teardown still to run.
+  if (opts.capture && r.events > 0) capture_now();
   // Tear down whatever the trace leaked so the manager can be destroyed
-  // cleanly (traces are normally closed; this is a guard).
-  for (auto& [id, obj] : live) manager.deallocate(obj.ptr);
+  // cleanly (traces are normally closed; this is a guard).  Id order keeps
+  // the sweep — and the work it charges — independent of the live-map
+  // backend.
+  if (opts.consult != nullptr) opts.consult->current_event = total;
+  for (const SimLiveObj& obj : live.sorted()) manager.deallocate(obj.ptr);
+  alloc::set_consult_sink(prev_sink);
   return r;
+}
+
+SimResult simulate(const AllocTrace& trace, alloc::Allocator& manager,
+                   std::vector<TimelinePoint>* timeline,
+                   std::uint64_t timeline_stride) {
+  SimReplayOptions opts;
+  opts.timeline = timeline;
+  opts.timeline_stride = timeline_stride;
+  return simulate(trace, manager, opts);
 }
 
 SimResult simulate_fresh(

@@ -65,6 +65,23 @@ TEST(Simulator, TimelineSamplesAreMonotoneInEvents) {
   EXPECT_EQ(timeline.back().event, 1000u) << "final state always sampled";
 }
 
+TEST(Simulator, ZeroTimelineStrideSamplesFinalPointOnly) {
+  // Regression: a timeline with stride 0 used to evaluate `events % 0`
+  // (undefined behaviour).  Stride 0 now means "final point only".
+  const AllocTrace t = wave_trace(100, 64);
+  std::vector<TimelinePoint> timeline;
+  const SimResult r = simulate_fresh(
+      t,
+      [](sysmem::SystemArena& a) {
+        return std::make_unique<alloc::CustomManager>(
+            a, alloc::drr_paper_config());
+      },
+      &timeline, /*timeline_stride=*/0);
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_EQ(timeline.back().event, r.events);
+  EXPECT_EQ(timeline.back().footprint, r.final_footprint);
+}
+
 TEST(Simulator, TimelineShowsLeaPlateauVsCustomDecay) {
   // The Fig. 5 mechanism in miniature: after the free wave, Lea's
   // footprint stays at the plateau, the custom manager's returns to ~0.
