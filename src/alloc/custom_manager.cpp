@@ -5,7 +5,6 @@
 #include <utility>
 
 #include "dmm/alloc/config_rules.h"
-#include "dmm/alloc/consult.h"
 #include "dmm/alloc/size_class.h"
 
 namespace dmm::alloc {
@@ -22,7 +21,7 @@ CustomManager::CustomManager(sysmem::SystemArena& arena, const DmmConfig& cfg,
     : Allocator(arena),
       cfg_(cfg),
       layout_(BlockLayout::from(cfg)),
-      link_bytes_(FreeIndex::link_bytes(cfg.block_structure)),
+      link_bytes_(FreeIndex::link_bytes(hard_.block_structure())),
       name_(std::move(name)),
       strict_(strict_accounting) {
   if (auto why = unsupported_reason(cfg)) {
@@ -30,20 +29,20 @@ CustomManager::CustomManager(sysmem::SystemArena& arena, const DmmConfig& cfg,
                  why->c_str());
     std::abort();
   }
-  if (cfg_.pool_division == PoolDivision::kPoolPerSizeClass) {
+  if (hard_.pool_division() == PoolDivision::kPoolPerSizeClass) {
     class_slot_.assign(SizeClass::kCount, -1);
-    if (cfg_.pool_count == PoolCount::kStaticMany) {
+    if (hard_.pool_count() == PoolCount::kStaticMany) {
       // Pre-create the full class roster (pools only; chunks on demand).
       for (unsigned i = 0; i < SizeClass::kCount; ++i) {
         make_pool(i, class_pool_block_size(i));
       }
     }
   }
-  if (cfg_.pool_division == PoolDivision::kSinglePool) {
+  if (hard_.pool_division() == PoolDivision::kSinglePool) {
     Pool* p = make_pool(0, 0);
-    if (cfg_.adaptivity == PoolAdaptivity::kStaticPreallocated) {
+    if (hard_.static_preallocated()) {
       // One up-front grant; afterwards the pool may never grow again.
-      if (p->grow_reserve(cfg_.static_pool_bytes) == nullptr) {
+      if (p->grow_reserve(hard_.static_pool_bytes()) == nullptr) {
         die("static preallocation exceeds the arena budget");
       }
       static_exhausted_ = true;
@@ -71,7 +70,8 @@ CustomManager::~CustomManager() {
 ChunkHeader* CustomManager::pool_grow(std::size_t min_data_bytes) {
   if (static_exhausted_) return nullptr;
   std::size_t total = sizeof(ChunkHeader) + min_data_bytes;
-  if (total < cfg_.chunk_bytes) total = cfg_.chunk_bytes;
+  const std::size_t chunk_bytes = hard_.chunk_bytes();
+  if (total < chunk_bytes) total = chunk_bytes;
   std::size_t granted = 0;
   std::byte* base = arena_->request(total, &granted);
   if (base == nullptr) return nullptr;
@@ -94,23 +94,24 @@ Pool* CustomManager::make_pool(std::size_t key,
   pools_.push_back(
       {key, std::make_unique<Pool>(cfg_, layout_, fixed_block_size, host)});
   const std::size_t slot = pools_.size() - 1;
-  if (cfg_.pool_division == PoolDivision::kPoolPerSizeClass &&
-      cfg_.pool_structure == PoolStructure::kArray) {
+  if (hard_.pool_division() == PoolDivision::kPoolPerSizeClass &&
+      hard_.pool_structure() == PoolStructure::kArray) {
     class_slot_[key] = static_cast<int>(slot);
-  } else if (cfg_.pool_division == PoolDivision::kPoolPerExactSize &&
-             cfg_.pool_structure == PoolStructure::kArray) {
+  } else if (hard_.pool_division() == PoolDivision::kPoolPerExactSize &&
+             hard_.pool_structure() == PoolStructure::kArray) {
     exact_slot_[key] = slot;
   }
   return pools_.back().pool.get();
 }
 
 Pool* CustomManager::find_pool(std::size_t key) {
-  if (cfg_.pool_structure == PoolStructure::kArray) {
-    if (cfg_.pool_division == PoolDivision::kPoolPerSizeClass) {
+  if (hard_.pool_structure() == PoolStructure::kArray) {
+    if (hard_.pool_division() == PoolDivision::kPoolPerSizeClass) {
       const int slot = class_slot_[key];
-      return slot < 0 ? nullptr : pools_[static_cast<std::size_t>(slot)].pool.get();
+      return slot < 0 ? nullptr
+                      : pools_[static_cast<std::size_t>(slot)].pool.get();
     }
-    if (cfg_.pool_division == PoolDivision::kPoolPerExactSize) {
+    if (hard_.pool_division() == PoolDivision::kPoolPerExactSize) {
       auto it = exact_slot_.find(key);
       return it == exact_slot_.end() ? nullptr : pools_[it->second].pool.get();
     }
@@ -131,7 +132,7 @@ Pool* CustomManager::find_pool(std::size_t key) {
 std::size_t CustomManager::block_size_for_request(std::size_t payload) const {
   if (payload == 0) payload = 1;
   std::size_t p = align_up(payload);
-  if (cfg_.block_sizes == BlockSizes::kFixedClasses) {
+  if (hard_.block_sizes() == BlockSizes::kFixedClasses) {
     p = SizeClass::round_to_class(p);
   }
   return layout_.block_size_for(p, link_bytes_);
@@ -146,13 +147,13 @@ std::size_t CustomManager::class_pool_block_size(unsigned idx) const {
 }
 
 CustomManager::Route CustomManager::route(std::size_t request) {
-  switch (cfg_.pool_division) {
+  switch (hard_.pool_division()) {
     case PoolDivision::kSinglePool:
       return {find_pool(0), block_size_for_request(request)};
     case PoolDivision::kPoolPerSizeClass: {
       const unsigned idx = SizeClass::index_for(align_up(request));
       Pool* p = find_pool(idx);
-      if (p == nullptr && cfg_.pool_count == PoolCount::kDynamic) {
+      if (p == nullptr && hard_.pool_count() == PoolCount::kDynamic) {
         p = make_pool(idx, class_pool_block_size(idx));
       }
       const std::size_t bs = (p != nullptr && p->is_fixed())
@@ -176,8 +177,7 @@ CustomManager::Route CustomManager::route(std::size_t request) {
 
 void* CustomManager::allocate(std::size_t bytes) {
   const std::size_t request = bytes == 0 ? 1 : bytes;
-  if (cfg_.adaptivity != PoolAdaptivity::kStaticPreallocated &&
-      request >= cfg_.big_request_bytes) {
+  if (!hard_.static_preallocated() && request >= hard_.big_request_bytes()) {
     return big_allocate(request);
   }
   const Route r = route(request);
@@ -280,9 +280,8 @@ void CustomManager::big_deallocate(ChunkHeader* chunk, void* ptr) {
   }
   chunk->live_blocks = 0;
   // Shrink decision point: B4 decides between releasing and caching the
-  // now-empty dedicated chunk.
-  note_consult(ConsultGroup::kShrink);
-  if (cfg_.adaptivity == PoolAdaptivity::kGrowAndShrink) {
+  // now-empty dedicated chunk — the accessor read notes kShrink here.
+  if (knobs_.releases_empty_chunks()) {
     ++stats_.chunks_released;
     pool_release(chunk);
   } else {
@@ -343,6 +342,7 @@ std::unique_ptr<AllocatorState> CustomManager::save_state() const {
   chunk_index_.for_each([&](ChunkHeader* c) { st->chunks.push_back(c); });
   st->big_cache = big_cache_;
   st->big_cache_bytes = big_cache_bytes_;
+  // dmm-lint: allow(unordered-iter): restore re-inserts into a hash map
   st->requested.assign(requested_.begin(), requested_.end());
   st->routing_steps = routing_steps_;
   st->static_exhausted = static_exhausted_;

@@ -4,8 +4,6 @@
 #include <cstdlib>
 #include <vector>
 
-#include "dmm/alloc/consult.h"
-
 namespace dmm::alloc {
 
 namespace {
@@ -27,18 +25,32 @@ struct FreeIndex::TreeNode {
   std::byte* parent;
 };
 
-FreeIndex::FreeIndex(BlockStructure ddt, FreeListOrder order,
+FreeIndex::FreeIndex(BlockStructure ddt, KnobView knobs,
                      const BlockLayout& layout, std::size_t fixed_size)
     : ddt_(ddt),
-      order_(order),
+      knobs_(knobs),
       link_offset_(layout.header_bytes()),
       layout_(layout),
-      fixed_size_(fixed_size) {
-  // Self-ordering DDTs override the C2 discipline (the constraint engine
-  // reports such combinations as linked decisions, not errors).
+      fixed_size_(fixed_size) {}
+
+FreeIndex::FreeIndex(BlockStructure ddt, FreeListOrder pinned_order,
+                     const BlockLayout& layout, std::size_t fixed_size)
+    : ddt_(ddt),
+      pinned_order_(pinned_order),
+      link_offset_(layout.header_bytes()),
+      layout_(layout),
+      fixed_size_(fixed_size) {}
+
+FreeListOrder FreeIndex::discipline() const {
+  // Reading the C2 knob consults kOrder; self-ordering DDTs then override
+  // it (the constraint engine reports such combinations as linked
+  // decisions, not errors).  Even for them the consult stands: a config
+  // differing in A1 is a hard (structure) change handled elsewhere.
+  const FreeListOrder order = knobs_ ? knobs_->order() : pinned_order_;
   if (sorted_by_size() || ddt_ == BlockStructure::kSizeBinaryTree) {
-    order_ = FreeListOrder::kSizeOrdered;
+    return FreeListOrder::kSizeOrdered;
   }
+  return order;
 }
 
 std::size_t FreeIndex::link_bytes(BlockStructure ddt) {
@@ -78,20 +90,31 @@ bool FreeIndex::sorted_by_size() const {
 // ---------------------------------------------------------------------------
 
 void FreeIndex::insert(std::byte* block) {
-  // With at least one resident block the insertion position depends on the
-  // ordering policy (C2) — even self-ordering DDTs count, because a config
-  // differing in A1 is a hard (structure) change handled elsewhere.
-  if (count_ >= 1) note_consult(ConsultGroup::kOrder);
-  if (ddt_ == BlockStructure::kSizeBinaryTree) {
-    tree_insert(block);
-  } else if (sorted_by_size() || order_ == FreeListOrder::kSizeOrdered) {
-    list_insert_sorted(block, /*by_size=*/true);
-  } else if (order_ == FreeListOrder::kAddressOrdered) {
-    list_insert_sorted(block, /*by_size=*/false);
-  } else if (order_ == FreeListOrder::kFIFO) {
-    list_push_back(block);
+  if (count_ == 0) {
+    // First resident block: every discipline files it identically (head =
+    // tail = block, no scan), so the ordering knob is not consulted.
+    if (ddt_ == BlockStructure::kSizeBinaryTree) {
+      tree_insert(block);
+    } else {
+      list_push_front(block);
+    }
   } else {
-    list_push_front(block);
+    // With at least one resident block the insertion position depends on
+    // the ordering policy (C2): reading it through the view consults
+    // kOrder — even for self-ordering DDTs, because a config differing in
+    // A1 is a hard (structure) change handled elsewhere.
+    const FreeListOrder order = discipline();
+    if (ddt_ == BlockStructure::kSizeBinaryTree) {
+      tree_insert(block);
+    } else if (order == FreeListOrder::kSizeOrdered) {
+      list_insert_sorted(block, /*by_size=*/true);
+    } else if (order == FreeListOrder::kAddressOrdered) {
+      list_insert_sorted(block, /*by_size=*/false);
+    } else if (order == FreeListOrder::kFIFO) {
+      list_push_back(block);
+    } else {
+      list_push_front(block);
+    }
   }
   ++count_;
   bytes_ += size_of(block);
@@ -107,18 +130,41 @@ void FreeIndex::remove(std::byte* block) {
   bytes_ -= size_of(block);
 }
 
-std::byte* FreeIndex::take_fit(std::size_t need, FitAlgorithm fit) {
-  // A fit policy (C1) is consulted when the choice could matter.  On a
-  // list with exactly one block every policy scans that one node, takes it
-  // iff it fits, and updates the cursor identically — no divergence until
-  // two candidates coexist.  On a 1-node tree the policies already differ
-  // observably (worst fit descends the right spine and charges different
-  // scan_steps than the >=-need descent), so trees consult from one block.
-  if (count_ >= 2 ||
-      (count_ >= 1 && ddt_ == BlockStructure::kSizeBinaryTree)) {
-    note_consult(ConsultGroup::kFit);
+std::byte* FreeIndex::take_fit(std::size_t need) {
+  // The fit policy (C1) is read — and thereby consulted — only when the
+  // choice could matter.  On a list with exactly one block every policy
+  // scans that one node, takes it iff it fits, and updates the cursor
+  // identically — no divergence until two candidates coexist.  On a 1-node
+  // tree the policies already differ observably (worst fit descends the
+  // right spine and charges different scan_steps than the >=-need
+  // descent), so trees read the knob from one block.
+  if (!knobs_) die("take_fit without a fit: pinned-policy index");
+  if (count_ == 0) return nullptr;
+  std::byte* b = nullptr;
+  if (ddt_ == BlockStructure::kSizeBinaryTree) {
+    b = tree_take(need, knobs_->fit());
+  } else if (count_ == 1) {
+    // Policy-free single-node path, bit-identical to every fit algorithm:
+    // one scan step, take iff it fits, cursor lands past the taken block.
+    ++scan_steps_;
+    if (size_of(head_) >= need) {
+      b = head_;
+      cursor_ = list_node(b)->next;
+      list_unlink(b, nullptr);
+    }
+  } else {
+    b = list_take(need, knobs_->fit());
   }
-  std::byte* b = (ddt_ == BlockStructure::kSizeBinaryTree)
+  if (b != nullptr) {
+    --count_;
+    bytes_ -= size_of(b);
+  }
+  return b;
+}
+
+std::byte* FreeIndex::take_fit(std::size_t need, FitAlgorithm fit) {
+  if (count_ == 0) return nullptr;
+  std::byte* b = ddt_ == BlockStructure::kSizeBinaryTree
                      ? tree_take(need, fit)
                      : list_take(need, fit);
   if (b != nullptr) {
@@ -251,10 +297,6 @@ void FreeIndex::list_unlink(std::byte* b, std::byte* prev_hint) {
 }
 
 std::byte* FreeIndex::list_take(std::size_t need, FitAlgorithm fit) {
-  // On a size-sorted list, the first block >= need IS the best fit, and an
-  // exact fit (if any) is encountered first among fitting blocks.
-  const bool sorted = sorted_by_size() || order_ == FreeListOrder::kSizeOrdered;
-
   auto scan_first = [&](std::byte* start) -> std::byte* {
     std::byte* prev = (start == head_) ? nullptr : list_prev_of(start);
     for (std::byte* cur = start; cur != nullptr;
@@ -300,6 +342,12 @@ std::byte* FreeIndex::list_take(std::size_t need, FitAlgorithm fit) {
     }
     case FitAlgorithm::kBestFit:
     case FitAlgorithm::kExactFit: {
+      // On a size-sorted list, the first block >= need IS the best fit, and
+      // an exact fit (if any) is encountered first among fitting blocks.
+      // Reaching here implies count_ >= 2, so the ordering knob was already
+      // consulted by the insert that made the list non-empty — the kOrder
+      // note inside discipline() cannot move a first-consult earlier.
+      const bool sorted = discipline() == FreeListOrder::kSizeOrdered;
       if (sorted) return head_ != nullptr ? scan_first(head_) : nullptr;
       std::byte* best = nullptr;
       std::byte* best_prev = nullptr;

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "dmm/alloc/config.h"
+#include "dmm/alloc/knobs.h"
 #include "dmm/alloc/size_class.h"
 
 namespace dmm::alloc {
@@ -38,18 +39,22 @@ class BlockLayout {
 
   BlockLayout() = default;
 
-  /// Derives the layout from the A3/A4 decisions of @p cfg.
+  /// Derives the layout from the A3/A4 decisions of @p cfg (hard knobs:
+  /// they shape construction, so reading them is consult-free).
   static BlockLayout from(const DmmConfig& cfg) {
+    const HardKnobs hard(cfg);
+    const BlockTags tags = hard.block_tags();
+    const RecordedInfo info = hard.recorded_info();
     BlockLayout l;
-    l.has_header_ = cfg.block_tags == BlockTags::kHeader ||
-                    cfg.block_tags == BlockTags::kHeaderFooter;
-    l.has_footer_ = cfg.block_tags == BlockTags::kFooter ||
-                    cfg.block_tags == BlockTags::kHeaderFooter;
-    l.records_size_ = cfg.recorded_info == RecordedInfo::kSize ||
-                      cfg.recorded_info == RecordedInfo::kSizeAndStatus;
-    l.records_status_ = cfg.recorded_info == RecordedInfo::kStatus ||
-                        cfg.recorded_info == RecordedInfo::kSizeAndStatus;
-    if (cfg.block_tags == BlockTags::kNone) {
+    l.has_header_ =
+        tags == BlockTags::kHeader || tags == BlockTags::kHeaderFooter;
+    l.has_footer_ =
+        tags == BlockTags::kFooter || tags == BlockTags::kHeaderFooter;
+    l.records_size_ = info == RecordedInfo::kSize ||
+                      info == RecordedInfo::kSizeAndStatus;
+    l.records_status_ = info == RecordedInfo::kStatus ||
+                        info == RecordedInfo::kSizeAndStatus;
+    if (tags == BlockTags::kNone) {
       l.records_size_ = l.records_status_ = false;
     }
     return l;

@@ -108,6 +108,7 @@ class ChunkIndex {
   }
 
  private:
+  // dmm-lint: allow(ptr-order): addresses are slab-relative, so the order is deterministic
   std::map<const std::byte*, ChunkHeader*> by_base_;
   mutable ChunkHeader* last_ = nullptr;
 };

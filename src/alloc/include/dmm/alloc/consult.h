@@ -26,6 +26,17 @@ namespace dmm::alloc {
 ///   * kCoalesce — free-neighbour merging could run (alloc-side deferred
 ///                 retry or free-side immediate merge).
 ///   * kShrink   — an empty chunk could be returned to the system.
+///
+/// Soundness is structural, not conventional: allocator code never calls
+/// `note_consult` by hand.  Soft knobs are read exclusively through
+/// `KnobView` (dmm/alloc/knobs.h), whose accessors note their statically
+/// assigned group before returning the value — reading a soft knob IS
+/// consulting it.  Hard (structure-defining) knobs go through `HardKnobs`
+/// and are consult-free, because the checkpoint layer never shares a
+/// replay prefix across configs that differ in them (`hard_mismatch` in
+/// core/checkpoint.cpp).  `tools/dmm_lint` rejects raw `DmmConfig` field
+/// reads outside the accessor layer and a short whitelist, so an
+/// unconsulted soft-knob read cannot merge.
 struct ConsultSink;
 
 enum class ConsultGroup : int {

@@ -11,6 +11,7 @@
 #include "dmm/alloc/block_layout.h"
 #include "dmm/alloc/chunk.h"
 #include "dmm/alloc/config.h"
+#include "dmm/alloc/knobs.h"
 #include "dmm/alloc/pool.h"
 
 namespace dmm::alloc {
@@ -144,6 +145,11 @@ class CustomManager : public Allocator, private PoolHost {
   void big_deallocate(ChunkHeader* chunk, void* ptr);
 
   DmmConfig cfg_;
+  /// Typed views over cfg_ (see knobs.h): hard_ for consult-free structure
+  /// knobs, knobs_ for soft knobs whose reads note their ConsultGroup.
+  /// All decision-path reads below go through these, never cfg_ directly.
+  HardKnobs hard_{cfg_};
+  KnobView knobs_{cfg_};
   BlockLayout layout_;
   std::size_t link_bytes_;
   std::string name_;

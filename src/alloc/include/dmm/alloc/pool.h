@@ -9,6 +9,7 @@
 #include "dmm/alloc/chunk.h"
 #include "dmm/alloc/config.h"
 #include "dmm/alloc/free_index.h"
+#include "dmm/alloc/knobs.h"
 
 namespace dmm::alloc {
 
@@ -126,7 +127,8 @@ class Pool {
   [[nodiscard]] bool split_allowed(std::size_t have, std::size_t need) const;
   [[nodiscard]] bool remainder_ok(std::size_t remainder) const;
 
-  const DmmConfig& cfg_;
+  HardKnobs hard_;   ///< consult-free structural knobs (see knobs.h)
+  KnobView knobs_;   ///< soft knobs — every read notes its ConsultGroup
   BlockLayout layout_;
   std::size_t fixed_size_;
   std::size_t min_block_;

@@ -21,6 +21,7 @@ inline constexpr std::size_t kAlignment = 8;
 /// True iff @p p is aligned to @p align.
 [[nodiscard]] inline bool is_aligned(const void* p,
                                      std::size_t align = kAlignment) {
+  // dmm-lint: allow(ptr-order): alignment predicate, not an ordering
   return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
 }
 

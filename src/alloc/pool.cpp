@@ -4,7 +4,6 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "dmm/alloc/consult.h"
 #include "dmm/alloc/size_class.h"
 
 namespace dmm::alloc {
@@ -20,12 +19,14 @@ bool is_class_size(std::size_t s) { return s != 0 && (s & (s - 1)) == 0; }
 
 Pool::Pool(const DmmConfig& cfg, const BlockLayout& layout,
            std::size_t fixed_block_size, PoolHost& host)
-    : cfg_(cfg),
+    : hard_(cfg),
+      knobs_(cfg),
       layout_(layout),
       fixed_size_(fixed_block_size),
-      min_block_(layout.min_block_size(FreeIndex::link_bytes(cfg.block_structure))),
+      min_block_(
+          layout.min_block_size(FreeIndex::link_bytes(hard_.block_structure()))),
       host_(host),
-      index_(cfg.block_structure, cfg.order, layout, fixed_block_size) {
+      index_(hard_.block_structure(), knobs_, layout, fixed_block_size) {
   if (fixed_size_ != 0 && fixed_size_ < min_block_) {
     die("fixed block size below the minimum viable free-block size");
   }
@@ -50,26 +51,23 @@ std::size_t Pool::block_size_of(const std::byte* block) const {
 
 bool Pool::remainder_ok(std::size_t remainder) const {
   if (remainder < min_block_) return false;
-  if (cfg_.split_sizes == SplitSizes::kBoundedByClass) {
+  if (knobs_.split_sizes() == SplitSizes::kBoundedByClass) {
     return is_class_size(remainder) &&
-           remainder <= (std::size_t{1} << cfg_.max_class_log2);
+           remainder <= (std::size_t{1} << hard_.max_class_log2());
   }
   return true;
 }
 
 bool Pool::split_allowed(std::size_t have, std::size_t need) const {
   if (is_fixed()) return false;  // fixed pools never split (sizes invariant)
-  if (cfg_.flexible != FlexibleBlockSize::kSplitOnly &&
-      cfg_.flexible != FlexibleBlockSize::kSplitAndCoalesce) {
-    return false;
-  }
-  switch (cfg_.split_when) {
+  if (!knobs_.splitting_granted()) return false;
+  switch (knobs_.split_when()) {
     case SplitWhen::kNever:
       return false;
     case SplitWhen::kDeferred:
       // Deferred splitting: only bother for remainders large enough to
       // matter (the pressure threshold fixed "via simulation", Sec. 5).
-      return have - need >= cfg_.deferred_split_min;
+      return have - need >= knobs_.deferred_split_min();
     case SplitWhen::kAlways:
       return have - need >= min_block_;
   }
@@ -80,12 +78,12 @@ std::size_t Pool::split_block(std::byte* block, std::size_t have,
                               std::size_t need, ChunkHeader* chunk) {
   const std::size_t remainder = have - need;
   std::size_t rem_size = remainder;
-  if (cfg_.split_sizes == SplitSizes::kBoundedByClass) {
+  if (knobs_.split_sizes() == SplitSizes::kBoundedByClass) {
     // E1 bounded: the produced block must be one of the fixed class sizes;
     // round the remainder down and leave the gap glued to the allocated
     // part (internal fragmentation — the cost of bounding E1).
     rem_size = std::size_t{1} << (std::bit_width(remainder) - 1);
-    const std::size_t cap = std::size_t{1} << cfg_.max_class_log2;
+    const std::size_t cap = std::size_t{1} << hard_.max_class_log2();
     if (rem_size > cap) rem_size = cap;
   }
   if (!remainder_ok(rem_size)) return have;
@@ -132,23 +130,19 @@ std::byte* Pool::allocate_block(std::size_t block_size) {
   if (fixed_size_ != 0 && block_size != fixed_size_) {
     die("fixed-size pool asked for a foreign block size");
   }
-  std::byte* block = index_.take_fit(block_size, cfg_.fit);
+  std::byte* block = index_.take_fit(block_size);
   // Coalescing decision point (alloc side): a failed fit over a non-empty
-  // variable index is where a deferred-coalescing config would defragment;
-  // note it before the gates so any candidate differing in D-knobs or
-  // A5 (flexible) is known to diverge here.
-  if (block == nullptr && !is_fixed() && index_.count() > 0) {
-    note_consult(ConsultGroup::kCoalesce);
-  }
-  if (block == nullptr &&
-      cfg_.coalesce_when == CoalesceWhen::kDeferred &&
-      (cfg_.flexible == FlexibleBlockSize::kCoalesceOnly ||
-       cfg_.flexible == FlexibleBlockSize::kSplitAndCoalesce) &&
-      !is_fixed()) {
+  // variable index is where a deferred-coalescing config would defragment.
+  // The D/A5 knob reads themselves carry the consult, so they are gated to
+  // fire exactly there; with an empty index a sweep is a no-op, so the
+  // extra count guard changes no behaviour.
+  if (block == nullptr && !is_fixed() && index_.count() > 0 &&
+      knobs_.coalescing_granted() &&
+      knobs_.coalesce_when() == CoalesceWhen::kDeferred) {
     // Deferred coalescing: defragment only when the request would
     // otherwise force the pool to grow.
     if (coalesce_sweep() > 0) {
-      block = index_.take_fit(block_size, cfg_.fit);
+      block = index_.take_fit(block_size);
     }
   }
   std::size_t final_size = block_size;
@@ -158,10 +152,9 @@ std::byte* Pool::allocate_block(std::size_t block_size) {
     const std::size_t have = block_size_of(block);
     final_size = have;
     // Splitting decision point: a reused block larger than the request is
-    // where the E-knobs (and A5) choose whether to carve a remainder.
-    if (!is_fixed() && have > block_size) {
-      note_consult(ConsultGroup::kSplit);
-    }
+    // where the E-knobs (and A5) choose whether to carve a remainder —
+    // split_allowed's accessor reads note kSplit right here (its is_fixed
+    // check precedes any knob read, keeping fixed pools consult-free).
     if (have > block_size && split_allowed(have, block_size)) {
       final_size = split_block(block, have, block_size, chunk);
     }
@@ -179,13 +172,15 @@ void Pool::free_block(std::byte* block, std::size_t block_size,
   if (chunk == nullptr || chunk->owner != this) {
     die("free_block: chunk does not belong to this pool");
   }
-  // Coalescing decision point (free side): note only when a merge with a
-  // neighbour or the wilderness is actually possible — freeing a block
-  // with no free neighbour behaves identically under every D-knob, so it
-  // must not pin the divergence analysis to the first free.
+  // Coalescing decision point (free side): the D/A5 knob reads are gated on
+  // a merge with a neighbour or the wilderness actually being possible —
+  // freeing a block with no free neighbour behaves identically under every
+  // D-knob (try_coalesce would fall straight through), so it must not pin
+  // the divergence analysis to the first free.
+  bool merge_possible = false;
   if (!is_fixed()) {
     std::byte* next = block + block_size;
-    bool merge_possible = next == chunk->wilderness();
+    merge_possible = next == chunk->wilderness();
     if (!merge_possible && next < chunk->wilderness() &&
         layout_.records_status() && layout_.read_free(next)) {
       merge_possible = true;
@@ -194,16 +189,12 @@ void Pool::free_block(std::byte* block, std::size_t block_size,
         layout_.read_prev_free(block)) {
       merge_possible = true;
     }
-    if (merge_possible) note_consult(ConsultGroup::kCoalesce);
   }
   --live_blocks_;
   --chunk->live_blocks;
   std::size_t size = block_size;
-  const bool coalesce_now =
-      cfg_.coalesce_when == CoalesceWhen::kAlways && !is_fixed() &&
-      (cfg_.flexible == FlexibleBlockSize::kCoalesceOnly ||
-       cfg_.flexible == FlexibleBlockSize::kSplitAndCoalesce);
-  if (coalesce_now) {
+  if (merge_possible && knobs_.coalescing_granted() &&
+      knobs_.coalesce_when() == CoalesceWhen::kAlways) {
     size = try_coalesce(block, size, chunk);
   }
   make_free(block, size, chunk);
@@ -212,9 +203,10 @@ void Pool::free_block(std::byte* block, std::size_t block_size,
 
 std::size_t Pool::try_coalesce(std::byte*& block, std::size_t size,
                                ChunkHeader* chunk) {
-  const std::size_t cap = std::size_t{1} << cfg_.max_class_log2;
+  const std::size_t cap = std::size_t{1} << hard_.max_class_log2();
+  const CoalesceSizes coalesce_sizes = knobs_.coalesce_sizes();
   auto merge_allowed = [&](std::size_t merged) {
-    if (cfg_.coalesce_sizes == CoalesceSizes::kNotFixed) return true;
+    if (coalesce_sizes == CoalesceSizes::kNotFixed) return true;
     // D1 bounded: only class-valid merged sizes up to the ceiling.
     return is_class_size(merged) && merged <= cap;
   };
@@ -251,20 +243,17 @@ std::size_t Pool::try_coalesce(std::byte*& block, std::size_t size,
 void Pool::make_free(std::byte* block, std::size_t size, ChunkHeader* chunk) {
   // Immediate-coalescing configs retreat the wilderness here instead of
   // threading a trailing free block — a D-knob decision point that is also
-  // reached from split_block's remainder, so note it before the gates.
+  // reached from split_block's remainder, so the knob reads sit under
+  // exactly the block-touches-wilderness gate.
   if (!is_fixed() && block + size == chunk->wilderness()) {
-    note_consult(ConsultGroup::kCoalesce);
-  }
-  const bool coalesce_now =
-      cfg_.coalesce_when == CoalesceWhen::kAlways && !is_fixed() &&
-      (cfg_.flexible == FlexibleBlockSize::kCoalesceOnly ||
-       cfg_.flexible == FlexibleBlockSize::kSplitAndCoalesce);
-  if (coalesce_now && block + size == chunk->wilderness()) {
-    // Merge into the wilderness instead of threading a trailing free
-    // block — this is what lets an adaptive pool ever become empty.
-    chunk->bump -= size;
-    ++host_.pool_stats().coalesces;
-    return;
+    if (knobs_.coalescing_granted() &&
+        knobs_.coalesce_when() == CoalesceWhen::kAlways) {
+      // Merge into the wilderness instead of threading a trailing free
+      // block — this is what lets an adaptive pool ever become empty.
+      chunk->bump -= size;
+      ++host_.pool_stats().coalesces;
+      return;
+    }
   }
   layout_.write_header(block, size, /*free=*/true, /*prev_free=*/false);
   layout_.write_footer(block, size);
@@ -288,10 +277,10 @@ void Pool::set_prev_free_of_next(std::byte* block, std::size_t size,
 
 void Pool::release_chunk_if_empty(ChunkHeader* chunk) {
   // Shrink decision point: an empty chunk is where the B4 adaptivity knob
-  // decides between returning memory and keeping it cached.
-  if (chunk->live_blocks == 0) note_consult(ConsultGroup::kShrink);
-  if (cfg_.adaptivity != PoolAdaptivity::kGrowAndShrink) return;
+  // decides between returning memory and keeping it cached — so the knob
+  // read (which notes kShrink) happens only once the chunk is empty.
   if (chunk->live_blocks != 0) return;
+  if (!knobs_.releases_empty_chunks()) return;
   // Drain the chunk's free blocks from the index, then hand it back.
   walk_chunk(chunk, [&](std::byte* b, std::size_t, bool) {
     index_.remove(b);
@@ -320,9 +309,10 @@ void Pool::walk_chunk(
 
 std::size_t Pool::coalesce_sweep() {
   std::size_t merges = 0;
-  const std::size_t cap = std::size_t{1} << cfg_.max_class_log2;
+  const std::size_t cap = std::size_t{1} << hard_.max_class_log2();
+  const CoalesceSizes coalesce_sizes = knobs_.coalesce_sizes();
   auto merged_ok = [&](std::size_t s) {
-    if (cfg_.coalesce_sizes == CoalesceSizes::kNotFixed) return true;
+    if (coalesce_sizes == CoalesceSizes::kNotFixed) return true;
     return is_class_size(s) && s <= cap;
   };
   for (ChunkHeader* chunk = chunks_; chunk != nullptr; chunk = chunk->next) {

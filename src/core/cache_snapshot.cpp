@@ -195,6 +195,7 @@ SnapshotSaveResult SharedScoreCache::save(const std::string& path) const {
   std::uint64_t count = 0;
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->m);
+    // dmm-lint: allow(unordered-iter): record order in the cache file is immaterial
     for (const auto& [key, stored] : shard->map) {
       put_record(buf, key.trace_fingerprint, key.canon, stored.entry);
       ++count;

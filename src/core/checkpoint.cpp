@@ -114,6 +114,7 @@ std::uint64_t CheckpointStore::divergence_event(const TraceEntry& entry,
     const std::uint64_t hi =
         std::max(base.big_request_bytes, canon.big_request_bytes);
     std::uint64_t first = kNever;
+    // dmm-lint: allow(unordered-iter): order-independent min fold
     for (const auto& [size, event] : entry.first_alloc_of_size) {
       if (size >= lo && size < hi) first = std::min(first, event);
     }

@@ -72,6 +72,7 @@ class LiveMap {
       return out;
     }
     out.reserve(map_.size());
+    // dmm-lint: allow(unordered-iter): sorted by id directly below
     for (const auto& [id, obj] : map_) out.push_back({id, obj.ptr, obj.size});
     std::sort(out.begin(), out.end(),
               [](const SimLiveObj& a, const SimLiveObj& b) {
@@ -124,6 +125,7 @@ SimResult simulate(const AllocTrace& trace, alloc::Allocator& manager,
     r.peak_footprint = p.peak_footprint;
     r.failed_allocs = p.failed_allocs;
     r.events = p.events;
+    // dmm-lint: allow(unordered-iter): p.live is a vector; name collides with a hash set elsewhere
     for (const SimLiveObj& obj : p.live) {
       live.emplace(obj.id,
                    static_cast<std::byte*>(obj.ptr) + opts.resume_delta,

@@ -32,6 +32,11 @@ void AllocTrace::close_leaks() {
       live.erase(e.id);
     }
   }
+  // The emission order of the synthetic frees follows hash-set iteration,
+  // which libstdc++ keeps reproducible for a fixed insertion sequence.
+  // Sorting by id here would be cleaner but changes the generated traces,
+  // and the golden search logs pin them bit-for-bit.
+  // dmm-lint: allow(unordered-iter): trace order frozen by golden logs
   for (std::uint32_t id : live) record_free(id, last_phase);
 }
 
@@ -120,6 +125,7 @@ TraceStats AllocTrace::stats() const {
   // Keep only the 16 most frequent sizes.
   std::vector<std::pair<std::uint64_t, std::uint32_t>> ranked;
   ranked.reserve(by_size.size());
+  // dmm-lint: allow(unordered-iter): ranked is sorted with a total key directly below
   for (auto& [size, count] : by_size) ranked.emplace_back(count, size);
   std::sort(ranked.rbegin(), ranked.rend());
   for (std::size_t i = 0; i < ranked.size() && i < 16; ++i) {

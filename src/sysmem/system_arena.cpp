@@ -183,6 +183,7 @@ ArenaSnapshot SystemArena::save_state() const {
   }
   snap.free_regions.assign(free_regions_.begin(), free_regions_.end());
   snap.grants.reserve(grants_.size());
+  // dmm-lint: allow(unordered-iter): grants are sorted below before use
   for (const auto& [ptr, size] : grants_) {
     snap.grants.emplace_back(static_cast<std::size_t>(ptr - slab_), size);
   }

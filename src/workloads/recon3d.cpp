@@ -119,6 +119,10 @@ ReconResult Recon3d::run(unsigned seed) {
     }
     int best_key = 0;
     int best_votes = 0;
+    // Argmax ties break on hash-map iteration order (reproducible for a
+    // fixed insertion sequence); a key tie-break would be cleaner but
+    // changes the generated traces, which the golden logs pin bit-for-bit.
+    // dmm-lint: allow(unordered-iter): trace frozen by golden logs
     for (const auto& [key, count] : votes) {
       if (count > best_votes) {
         best_votes = count;
@@ -133,6 +137,7 @@ ReconResult Recon3d::run(unsigned seed) {
     double wx = 0.0;
     double wy = 0.0;
     double wsum = 0.0;
+    // dmm-lint: allow(unordered-iter): FP sum order frozen by golden logs
     for (const auto& [key, count] : votes) {
       const int vdx = key / 256 - 64;
       const int vdy = key % 256 - 64;

@@ -71,7 +71,7 @@ TEST_P(EveryManager, UsableSizeCoversRequest) {
 
 INSTANTIATE_TEST_SUITE_P(Baselines, EveryManager,
                          ::testing::ValuesIn(baseline_names()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& p) { return p.param; });
 
 // ---------------------------------------------------------------------------
 // Kingsley specifics

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Mechanical format checks that run everywhere, including containers
+without clang-format.  CI additionally runs `clang-format --dry-run
+-Werror` with the repo's .clang-format; this script is the
+lowest-common-denominator subset both agree on:
+
+  - no tab characters in C/C++ sources
+  - no trailing whitespace
+  - LF line endings (no CR)
+  - file ends with exactly one newline
+  - lines at most 100 columns (the .clang-format limit is 80, but a
+    mechanical checker cannot re-flow, so it only rejects egregious
+    overruns)
+
+Exit status 1 on any violation, with file:line diagnostics.
+"""
+
+import argparse
+import os
+import sys
+
+EXTS = (".cpp", ".h", ".hpp")
+DIRS = ("src", "bench", "examples", "tests", "tools")
+MAX_COLS = 100
+
+
+def check_file(path, rel):
+    problems = []
+    with open(path, "rb") as f:
+        data = f.read()
+    if b"\r" in data:
+        problems.append(f"{rel}: CR line endings (use LF)")
+    if data and not data.endswith(b"\n"):
+        problems.append(f"{rel}: missing final newline")
+    if data.endswith(b"\n\n\n"):
+        problems.append(f"{rel}: multiple blank lines at end of file")
+    text = data.decode("utf-8", errors="replace")
+    for lineno, line in enumerate(text.split("\n"), 1):
+        if "\t" in line:
+            problems.append(f"{rel}:{lineno}: tab character")
+        if line != line.rstrip():
+            problems.append(f"{rel}:{lineno}: trailing whitespace")
+        if len(line) > MAX_COLS:
+            problems.append(
+                f"{rel}:{lineno}: line is {len(line)} columns "
+                f"(max {MAX_COLS})")
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".", help="repository root")
+    args = ap.parse_args()
+    root = os.path.abspath(args.root)
+
+    problems = []
+    count = 0
+    for sub in DIRS:
+        for dirpath, _dirs, names in os.walk(os.path.join(root, sub)):
+            for name in sorted(names):
+                if not name.endswith(EXTS):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                count += 1
+                problems.extend(check_file(path, rel))
+    for p in problems:
+        print(p)
+    print(f"check_format: {len(problems)} problem(s) over {count} files",
+          file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+// Seeded violations for the nondet rule: wall-clock and global-RNG
+// sources in result-affecting code.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned pick_seed() {
+  std::random_device rd;             // expect: nondet
+  return rd();
+}
+
+int jitter() {
+  return rand() % 7;                 // expect: nondet
+}
+
+long stamp() {
+  return time(nullptr);              // expect: nondet
+}
+
+void reseed() {
+  srand(42);                         // expect: nondet
+}
+
+unsigned seeded_ok(unsigned seed) {
+  // Seeded engines are the sanctioned randomness source — never flagged.
+  std::mt19937 rng(seed);
+  return rng();
+}

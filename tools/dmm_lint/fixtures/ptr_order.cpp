@@ -1,0 +1,19 @@
+// Seeded violations for the ptr-order rule: orderings keyed on raw
+// pointer values.
+#include <cstdint>
+#include <map>
+#include <set>
+
+struct Block;
+
+std::map<const Block*, int> rank_by_address;  // expect: ptr-order
+
+bool before(const Block* a, const Block* b) {
+  std::set<Block*> seen;                      // expect: ptr-order
+  (void)seen;
+  return reinterpret_cast<std::uintptr_t>(a) <  // expect: ptr-order
+         reinterpret_cast<std::uintptr_t>(b);   // expect: ptr-order
+}
+
+// Index-keyed orderings are deterministic — never flagged.
+std::map<int, const Block*> rank_by_index;

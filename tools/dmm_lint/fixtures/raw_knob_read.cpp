@@ -1,0 +1,30 @@
+// Seeded violations for the raw-knob-read rule.  Reads of DmmConfig
+// decision knobs must go through KnobView/HardKnobs; writes are fine.
+#include <cstddef>
+
+struct FakeConfig {
+  int coalesce_when = 0;
+  int fit = 0;
+  std::size_t chunk_bytes = 0;
+  bool flexible = false;
+};
+
+int decide(const FakeConfig& cfg) {
+  int score = 0;
+  if (cfg.coalesce_when == 1) score += 1;  // expect: raw-knob-read
+  score += cfg.fit;                        // expect: raw-knob-read
+  const FakeConfig* p = &cfg;
+  if (p->chunk_bytes > 4096) score += 2;   // expect: raw-knob-read
+  return score;
+}
+
+void build(FakeConfig& cfg) {
+  // Assignments construct a config vector — never flagged.
+  cfg.coalesce_when = 2;
+  cfg.chunk_bytes = 1 << 16;
+  cfg.fit += 1;
+  // Suppressed read: the annotation silences the rule on the next line.
+  // dmm-lint: allow(raw-knob-read): fixture exercising suppression
+  bool f = cfg.flexible;
+  (void)f;
+}

@@ -1,0 +1,21 @@
+// Seeded violations for the raw-parse rule: raw numeric parsing that
+// silently truncates or ignores trailing garbage.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+int parse_argv(const char* s) {
+  return atoi(s);                               // expect: raw-parse
+}
+
+unsigned long long parse_big(const char* s) {
+  return strtoull(s, nullptr, 10);              // expect: raw-parse
+}
+
+int parse_string(const std::string& s) {
+  return std::stoi(s);                          // expect: raw-parse
+}
+
+int parse_pair(const char* s, int* a, int* b) {
+  return sscanf(s, "%d:%d", a, b);              // expect: raw-parse
+}

@@ -1,0 +1,33 @@
+// Seeded violations for the unordered-iter rule: hash-order iteration
+// feeding a result.
+#include <map>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int sum_by_hash_order(const std::unordered_map<int, int>& histogram) {
+  int last = 0;
+  for (const auto& [k, v] : histogram) {  // expect: unordered-iter
+    last = k + v;
+  }
+  return last;
+}
+
+std::vector<int> drain(const std::unordered_set<int>& pending) {
+  return {pending.begin(), pending.end()};  // expect: unordered-iter
+}
+
+int sum_sorted(const std::map<int, int>& ordered) {
+  // Ordered containers iterate deterministically — never flagged.
+  int total = 0;
+  for (const auto& [k, v] : ordered) total += k * v;
+  return total;
+}
+
+int justified(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  // dmm-lint: allow(unordered-iter): order-independent sum, fixture
+  for (const auto& [k, v] : counts) total += v;
+  return total + 0 * counts.size();
+}
