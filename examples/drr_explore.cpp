@@ -5,74 +5,42 @@
 //
 // Build & run:  ./build/examples/drr_explore
 //
-// Optional: --cache-file PATH persists the score cache across runs — a
-// second invocation replays nothing the first already scored (the walk is
-// served entirely from warm persisted hits) and reaches the identical
-// decision vector.  A corrupt or stale-format snapshot is ignored (cold
-// start), never an error.
+// Flags are the shared DesignRequest surface (api::RequestCli — the same
+// parser dmm_client and the other examples use):
 //
-// Optional: --search greedy|beam:K|anneal|exhaustive[:N]|random|
-// portfolio[:BUDGET]:CHILD+CHILD+... picks the search strategy for the
-// walk and the design run (default: the paper's greedy ordered traversal).
-//
-// Optional: --family T1,T2,... designs ONE decision vector for a whole
-// family of traces instead of the single profiled run — each element is
-// either a DRR traffic seed (digits) recorded in-process or a trace file
-// (anything else) written by trace_tool.  --aggregate max|wsum picks the
-// fold (worst-case peak vs equal-weight sum).  Family mode replaces the
-// single-trace walk below.
+//   --cache-file PATH   persists the score cache across runs — a second
+//                       invocation replays nothing the first already
+//                       scored and reaches the identical decision vector;
+//   --search SPEC       greedy|beam:K|anneal|exhaustive[:N]|random|
+//                       portfolio[:BUDGET]:CHILD+CHILD+... picks the
+//                       strategy for the walk and the design run;
+//   --family T1,T2,...  designs ONE decision vector for a whole family of
+//                       traces — each element is a DRR traffic seed
+//                       (digits) recorded in-process or a trace file
+//                       (anything else) written by trace_tool; --aggregate
+//                       max|wsum picks the fold.  Family mode replaces the
+//                       single-trace walk below.
 
 #include <cstdio>
-#include <cstring>
-#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "dmm/api/design_api.h"
 #include "dmm/core/explorer.h"
 #include "dmm/core/methodology.h"
 #include "dmm/managers/registry.h"
-#include "dmm/workloads/drr.h"
-#include "dmm/workloads/traffic.h"
 #include "dmm/workloads/workload.h"
-#include "example_util.h"
 
 namespace {
 
-int family_usage(const char* prog) {
+int usage(const char* prog, const dmm::api::RequestCli& cli) {
   std::fprintf(stderr,
-               "usage: %s [--cache-file PATH] [--search SPEC] "
-               "[--family T1,T2,...] [--aggregate max|wsum]\n"
+               "usage: %s %s\n"
                "  --family elements: a DRR traffic seed (digits only) or a "
                "trace file path;\n  at least two traces make a family\n",
-               prog);
+               prog, cli.flags_help().c_str());
   return 2;
-}
-
-/// Resolves one --family element: digits = a DRR traffic seed to record,
-/// anything else = a trace file to load.  Exits with a usage error on a
-/// malformed element instead of designing against a half-read family.
-dmm::core::AllocTrace family_trace(const char* prog, const std::string& token,
-                                   const dmm::workloads::Workload& drr) {
-  using namespace dmm;
-  if (token.find_first_not_of("0123456789") == std::string::npos) {
-    const unsigned seed =
-        examples::parse_unsigned_or_die(prog, "a --family seed", token);
-    return workloads::record_trace(drr, seed);
-  }
-  core::AllocTrace trace = core::AllocTrace::load(token);
-  std::string why;
-  if (trace.empty()) {
-    std::fprintf(stderr, "%s: --family trace '%s' is empty or unreadable\n",
-                 prog, token.c_str());
-    std::exit(2);
-  }
-  if (!trace.validate(&why)) {
-    std::fprintf(stderr, "%s: --family trace '%s' is malformed: %s\n", prog,
-                 token.c_str(), why.c_str());
-    std::exit(2);
-  }
-  return trace;
 }
 
 }  // namespace
@@ -80,88 +48,45 @@ dmm::core::AllocTrace family_trace(const char* prog, const std::string& token,
 int main(int argc, char** argv) {
   using namespace dmm;
 
-  std::string cache_file;
-  std::string family_list;
-  core::FamilyAggregate aggregate = core::FamilyAggregate::kMaxPeak;
-  bool aggregate_set = false;
-  core::SearchSpec search;
+  api::RequestCli cli("drr");
+  cli.request.num_threads = 0;  // one eval worker per hardware thread
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--cache-file") == 0 && i + 1 < argc) {
-      cache_file = argv[++i];
-    } else if (std::strncmp(argv[i], "--cache-file=", 13) == 0) {
-      cache_file = argv[i] + 13;
-    } else if (std::strcmp(argv[i], "--family") == 0 && i + 1 < argc) {
-      family_list = argv[++i];
-    } else if (std::strncmp(argv[i], "--family=", 9) == 0) {
-      family_list = argv[i] + 9;
-    } else if ((std::strcmp(argv[i], "--aggregate") == 0 && i + 1 < argc) ||
-               std::strncmp(argv[i], "--aggregate=", 12) == 0) {
-      const std::string value = argv[i][11] == '=' ? argv[i] + 12 : argv[++i];
-      aggregate_set = true;
-      if (value == "max") {
-        aggregate = core::FamilyAggregate::kMaxPeak;
-      } else if (value == "wsum") {
-        aggregate = core::FamilyAggregate::kWeightedSum;
-      } else {
-        std::fprintf(stderr, "unknown --aggregate value '%s' (want max or "
-                             "wsum)\n",
-                     value.c_str());
-        return 2;
-      }
-    } else if (examples::consume_search_flag(argc, argv, &i, &search)) {
-      // parsed into `search`
-    } else {
-      return family_usage(argv[0]);
+    const api::RequestCli::Arg arg = cli.consume(argc, argv, &i);
+    if (arg == api::RequestCli::Arg::kConsumed) continue;
+    if (arg == api::RequestCli::Arg::kError) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], cli.error().c_str());
+      return 2;
     }
+    return usage(argv[0], cli);
+  }
+  if (!cli.finish()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], cli.error().c_str());
+    return usage(argv[0], cli);
   }
 
-  if (aggregate_set && family_list.empty()) {
-    // Silently running a single-trace walk after the user asked for a
-    // family fold would misreport what was designed.
-    std::fprintf(stderr, "%s: --aggregate only applies to --family runs\n",
-                 argv[0]);
-    return family_usage(argv[0]);
+  // Resolve every requested trace (recorded workload seeds or trace_tool
+  // files) with the api layer's loud-failure contract.
+  std::vector<core::AllocTrace> traces;
+  std::string why;
+  if (!api::load_traces(cli.request, &traces, &why)) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], why.c_str());
+    return 2;
   }
 
-  if (!family_list.empty()) {
+  if (traces.size() >= 2) {
     // --- family mode: one vector for a set of traces ---------------------
-    const workloads::Workload& drr_workload = workloads::case_study("drr");
-    std::vector<core::AllocTrace> traces;
-    std::vector<std::string> labels;
-    std::size_t begin = 0;
-    for (;;) {
-      const std::size_t comma = family_list.find(',', begin);
-      const std::string token = family_list.substr(begin, comma - begin);
-      if (token.empty()) {
-        std::fprintf(stderr, "%s: --family has an empty element\n", argv[0]);
-        return family_usage(argv[0]);
-      }
-      labels.push_back(token);
-      traces.push_back(family_trace(argv[0], token, drr_workload));
-      if (comma == std::string::npos) break;
-      begin = comma + 1;
-    }
-    if (traces.size() < 2) {
-      std::fprintf(stderr, "%s: a family needs at least two traces\n",
-                   argv[0]);
-      return family_usage(argv[0]);
-    }
-
     std::printf("== DRR family design: %zu traces ==\n", traces.size());
-    core::FamilyDesignOptions fopts;
-    fopts.aggregate = aggregate;
-    fopts.explorer_options.num_threads = 0;
+    core::FamilyDesignOptions fopts = api::to_family_options(cli.request);
     // No cache injected: design_manager_family creates a private
     // run-scoped one (and loads/saves cache_file into it when set).
-    fopts.explorer_options.search = search;
-    fopts.cache_file = cache_file;
     const core::FamilyDesignResult family =
         core::design_manager_family(traces, fopts);
+    const bool max_peak =
+        cli.request.aggregate == core::FamilyAggregate::kMaxPeak;
     std::printf("aggregate objective (%s): %.0f, best found at family "
                 "evaluation %llu (%llu member replays, %llu member cache "
                 "hits, %llu whole-family cache hits)\n",
-                aggregate == core::FamilyAggregate::kMaxPeak ? "max-peak"
-                                                             : "weighted-sum",
+                max_peak ? "max-peak" : "weighted-sum",
                 family.aggregate_objective,
                 static_cast<unsigned long long>(family.search.evals_to_best),
                 static_cast<unsigned long long>(family.search.simulations),
@@ -178,7 +103,11 @@ int main(int argc, char** argv) {
     std::printf("per-trace breakdown:\n");
     for (std::size_t i = 0; i < family.per_trace.size(); ++i) {
       const core::FamilyTraceReport& r = family.per_trace[i];
-      std::printf("  %-20s peak %9zu B  avg %9.0f B  %s\n", labels[i].c_str(),
+      const api::TraceRef& ref = cli.request.traces[i];
+      const std::string label = ref.kind == api::TraceRef::Kind::kWorkload
+                                    ? "seed " + std::to_string(ref.seed)
+                                    : ref.path;
+      std::printf("  %-20s peak %9zu B  avg %9.0f B  %s\n", label.c_str(),
                   r.sim.peak_footprint, r.sim.avg_footprint,
                   r.feasible() ? "feasible" : "INFEASIBLE");
     }
@@ -186,8 +115,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("== DRR case study: profile ==\n");
-  const workloads::Workload& drr = workloads::case_study("drr");
-  const core::AllocTrace trace = workloads::record_trace(drr, 1);
+  const core::AllocTrace& trace = traces[0];
   const core::TraceStats stats = trace.stats();
   std::printf("trace: %llu events, %zu distinct block sizes (%u..%u B), "
               "peak live %zu B\n",
@@ -203,17 +131,12 @@ int main(int argc, char** argv) {
   // shared score cache carries this walk's replays over to the
   // design_manager() run below — same trace, so its walk is served
   // almost entirely from cross-search hits.
-  core::ExplorerOptions opts;
-  opts.num_threads = 0;
+  core::ExplorerOptions opts = api::to_explorer_options(cli.request);
   opts.shared_cache = std::make_shared<core::SharedScoreCache>();
   // --cache-file: the explorer warm-starts from the snapshot and writes
   // the cache back when it is destroyed; a second run of this example
   // then replays nothing at all.
-  opts.cache_file = cache_file;
-  // --search: any strategy plugs into the same walk (greedy default);
-  // ordered strategies narrate their decision steps below, streaming ones
-  // only have a winner to report.
-  opts.search = search;
+  opts.cache_file = cli.request.cache_file;
   core::Explorer explorer(trace, opts);
   const core::ExplorationResult result = explorer.run();
   for (const core::StepLog& step : result.steps) {
@@ -231,6 +154,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  const std::string& cache_file = cli.request.cache_file;
   std::printf("\nsearch cost: %llu trace replays (%llu more served by the "
               "score cache, %llu of those warm from %s) on the %s engine\n",
               static_cast<unsigned long long>(result.simulations),
@@ -242,20 +166,24 @@ int main(int argc, char** argv) {
               alloc::describe(result.best).c_str());
 
   std::printf("== comparison on 5 fresh traces (Table 1 style) ==\n");
-  core::MethodologyOptions design_opts;
-  design_opts.explorer_options = opts;  // same engine/cache, same --search
-  // Persistence belongs to the run, not to each phase: hand the snapshot
-  // path to design_manager (one load up front, one save at the end) and
-  // keep the per-phase explorers persistence-unaware.
-  design_opts.explorer_options.cache_file.clear();
-  design_opts.cache_file = cache_file;
-  const core::MethodologyResult design = core::design_manager(trace, design_opts);
+  // Persistence belongs to the run, not to each phase: the methodology
+  // bridge hands the snapshot path to design_manager (one load up front,
+  // one save at the end) and keeps the per-phase explorers
+  // persistence-unaware.  Share the walk's cache so the design run reuses
+  // its replays.
+  core::MethodologyOptions design_opts =
+      api::to_methodology_options(cli.request);
+  design_opts.explorer_options.shared_cache = opts.shared_cache;
+  const core::MethodologyResult design =
+      core::design_manager(trace, design_opts);
   std::printf("(design reused %llu of %llu evaluations from the walk above "
               "via the shared cache, %llu from a previous process)\n",
               static_cast<unsigned long long>(design.total_cross_search_hits),
               static_cast<unsigned long long>(design.total_simulations +
                                               design.total_cache_hits),
               static_cast<unsigned long long>(design.total_persisted_hits));
+  const workloads::Workload& drr =
+      workloads::case_study(cli.request.traces[0].workload);
   for (const char* name : {"kingsley", "lea", "custom"}) {
     double sum = 0.0;
     for (unsigned seed = 1; seed <= 5; ++seed) {

@@ -2,11 +2,13 @@
 #define DMM_EXAMPLES_EXAMPLE_UTIL_H
 
 // Shared argv helpers for the example CLIs (the bench twins live in
-// bench/bench_util.h).
+// bench/bench_util.h).  The DesignRequest-building binaries (drr_explore,
+// recon_explore, render_explore, quickstart, dmm_client) parse their flag
+// surface through api::RequestCli instead — only trace_tool's bespoke
+// positional arguments still need a helper here.
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <limits>
 #include <string>
 
@@ -29,33 +31,6 @@ inline unsigned parse_unsigned_or_die(const char* prog, const char* what,
     std::exit(2);
   }
   return static_cast<unsigned>(*value);
-}
-
-/// If argv[*i] is `--search SPEC` or `--search=SPEC`, parses it into
-/// @p spec (advancing *i past a separate value) and returns true.  An
-/// unparseable SPEC prints the accepted grammar to stderr and exits 2 —
-/// one grammar, one error message, for every example binary.
-inline bool consume_search_flag(int argc, char** argv, int* i,
-                                core::SearchSpec* spec) {
-  const char* text = nullptr;
-  if (std::strcmp(argv[*i], "--search") == 0 && *i + 1 < argc) {
-    text = argv[++*i];
-  } else if (std::strncmp(argv[*i], "--search=", 9) == 0) {
-    text = argv[*i] + 9;
-  } else {
-    return false;
-  }
-  const auto parsed = core::parse_search_spec(text);
-  if (!parsed) {
-    std::fprintf(stderr,
-                 "unknown --search value '%s' (want greedy, beam:K, "
-                 "anneal[:SEED], exhaustive[:N], random[:N[:SEED]], or "
-                 "portfolio[:BUDGET]:CHILD+CHILD+...)\n",
-                 text);
-    std::exit(2);
-  }
-  *spec = *parsed;
-  return true;
 }
 
 }  // namespace dmm::examples

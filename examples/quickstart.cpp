@@ -8,7 +8,9 @@
 // Build & run:  ./build/examples/quickstart
 //
 // Optional: --cache-file PATH persists the design run's score cache, so
-// re-running the quickstart replays nothing it already scored.
+// re-running the quickstart replays nothing it already scored.  The other
+// shared DesignRequest flags (--search, --threads; api::RequestCli) work
+// too; the profiled trace is produced in-process below.
 
 #include <cstdio>
 #include <cstring>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "dmm/alloc/custom_manager.h"
+#include "dmm/api/design_api.h"
 #include "dmm/core/methodology.h"
 #include "dmm/core/profiler.h"
 #include "dmm/managers/registry.h"
@@ -24,16 +27,24 @@
 int main(int argc, char** argv) {
   using namespace dmm;
 
-  std::string cache_file;
+  api::RequestCli cli;
+  cli.allow_trace_flags = false;  // the quickstart profiles its own trace
+  cli.request.num_threads = 0;    // one eval worker per hardware thread
+  cli.request.validate = true;    // cross-check the walk below
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--cache-file") == 0 && i + 1 < argc) {
-      cache_file = argv[++i];
-    } else if (std::strncmp(argv[i], "--cache-file=", 13) == 0) {
-      cache_file = argv[i] + 13;
-    } else {
-      std::fprintf(stderr, "usage: %s [--cache-file PATH]\n", argv[0]);
+    const api::RequestCli::Arg arg = cli.consume(argc, argv, &i);
+    if (arg == api::RequestCli::Arg::kConsumed) continue;
+    if (arg == api::RequestCli::Arg::kError) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], cli.error().c_str());
       return 2;
     }
+    std::fprintf(stderr, "usage: %s %s\n", argv[0],
+                 cli.flags_help().c_str());
+    return 2;
+  }
+  if (!cli.finish()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], cli.error().c_str());
+    return 2;
   }
 
   // --- 1. profile a toy application -------------------------------------
@@ -75,19 +86,17 @@ int main(int argc, char** argv) {
   // the whole run: the greedy walk of every phase plus the validation
   // pass below reuse each other's replays.  Results are bit-identical to
   // a serial, per-search-cache run, just faster.
-  core::MethodologyOptions options;
-  options.explorer_options.num_threads = 0;
-  options.explorer_options.cache = true;  // default, shown for the tour
+  core::MethodologyOptions options = api::to_methodology_options(cli.request);
   options.explorer_options.shared_cache =
       std::make_shared<core::SharedScoreCache>();
   // Cross-check the walk against exhaustive ground truth on a small
   // high-impact subspace (cheap: the validator rides the walk's replays).
-  options.validate = true;
+  // validate itself came in through the request bridge above.
   options.validation_trees = {core::TreeId::kA2, core::TreeId::kA5,
                               core::TreeId::kE2};
-  // --cache-file: scores persist across processes — the whole design run
-  // is served from warm persisted hits the second time around.
-  options.cache_file = cache_file;
+  // --cache-file rode the bridge too: scores persist across processes —
+  // the whole design run is served from warm persisted hits the second
+  // time around.
   const core::MethodologyResult design = core::design_manager(trace, options);
   std::printf("\ndesigned atomic manager (%llu trace replays, %llu cache "
               "hits, %llu reused across searches, %llu warm from a "

@@ -6,25 +6,37 @@
 // Build & run:  ./build/examples/render_explore [--search SPEC]
 // --search greedy|beam:K|anneal|exhaustive[:N]|random|
 // portfolio[:BUDGET]:CHILD+CHILD+... picks the per-phase design strategy
-// (default: the paper's greedy ordered traversal).
+// (default: the paper's greedy ordered traversal).  The other shared
+// DesignRequest flags (api::RequestCli) work too; the profiled trace is
+// fixed in-process.
 
 #include <cstdio>
 
+#include "dmm/api/design_api.h"
 #include "dmm/core/methodology.h"
 #include "dmm/managers/registry.h"
 #include "dmm/workloads/render3d.h"
 #include "dmm/workloads/workload.h"
-#include "example_util.h"
 
 int main(int argc, char** argv) {
   using namespace dmm;
 
-  core::SearchSpec search;
+  api::RequestCli cli("render3d");
+  cli.allow_trace_flags = false;  // the case-study trace is fixed below
   for (int i = 1; i < argc; ++i) {
-    if (!examples::consume_search_flag(argc, argv, &i, &search)) {
-      std::fprintf(stderr, "usage: %s [--search SPEC]\n", argv[0]);
+    const api::RequestCli::Arg arg = cli.consume(argc, argv, &i);
+    if (arg == api::RequestCli::Arg::kConsumed) continue;
+    if (arg == api::RequestCli::Arg::kError) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], cli.error().c_str());
       return 2;
     }
+    std::fprintf(stderr, "usage: %s %s\n", argv[0],
+                 cli.flags_help().c_str());
+    return 2;
+  }
+  if (!cli.finish()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], cli.error().c_str());
+    return 2;
   }
 
   std::printf("== 3D scalable-mesh rendering case study ==\n");
@@ -48,9 +60,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(trace.stats().events),
               trace.stats().phases);
 
-  core::MethodologyOptions design_opts;
-  design_opts.explorer_options.search = search;
-  const core::MethodologyResult design = core::design_manager(trace, design_opts);
+  const core::MethodologyOptions design_opts =
+      api::to_methodology_options(cli.request);
+  const core::MethodologyResult design =
+      core::design_manager(trace, design_opts);
   std::printf("\none atomic manager per phase (Sec. 3.3 global manager):\n");
   for (std::size_t i = 0; i < design.phase_configs.size(); ++i) {
     std::printf("  phase %zu (%s): %s\n", i,

@@ -295,11 +295,11 @@ SnapshotLoadResult SharedScoreCache::load(const std::string& path) {
     const std::lock_guard<std::mutex> lock(shard.m);
     // Existing entries win: a key already cached in this process carries a
     // bit-identical score (replays are deterministic) and keeps its
-    // in-process provenance for the hit accounting.
-    const auto [it, inserted] =
-        shard.map.emplace(key, Stored{rec.entry, kPersistedSearchId});
-    (void)it;
-    if (inserted) ++imported;
+    // in-process provenance for the hit accounting.  Import goes through
+    // the bounded insert path, so loading a snapshot larger than the
+    // capacity bound keeps the most recently imported records (record
+    // order) and counts the displaced ones as evictions.
+    if (insert_locked(shard, key, rec.entry, kPersistedSearchId)) ++imported;
   }
   persisted_entries_.fetch_add(imported, std::memory_order_relaxed);
   result.loaded = true;

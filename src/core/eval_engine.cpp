@@ -37,11 +37,38 @@ void ScoreCache::insert_canonical(const alloc::DmmConfig& canon,
 // SharedScoreCache
 // ---------------------------------------------------------------------------
 
-SharedScoreCache::SharedScoreCache(std::size_t shard_count) {
+SharedScoreCache::SharedScoreCache(std::size_t shard_count)
+    : SharedScoreCache(Limits{}, shard_count) {}
+
+SharedScoreCache::SharedScoreCache(const Limits& limits,
+                                   std::size_t shard_count) {
   if (shard_count == 0) shard_count = 1;
+  // Fold both axes into one entry budget (tighter axis wins); 0 stays
+  // unbounded.  A byte bound below one entry still admits one entry —
+  // otherwise the cache could never serve a hit at all.
+  std::size_t cap = limits.max_entries;
+  if (limits.max_bytes > 0) {
+    const std::size_t by_bytes =
+        std::max<std::size_t>(1, limits.max_bytes / kApproxEntryBytes);
+    cap = cap == 0 ? by_bytes : std::min(cap, by_bytes);
+  }
+  capacity_ = cap;
+  // Never spread a bounded budget so thin that hash skew fills one shard
+  // while the cache is mostly empty; tight budgets collapse to one shard
+  // and get exact LRU.
+  if (cap > 0) {
+    shard_count = std::min(
+        shard_count, std::max<std::size_t>(1, cap / kMinEntriesPerBoundedShard));
+  }
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto shard = std::make_unique<Shard>();
+    if (cap > 0) {
+      // Per-shard caps sum exactly to cap, so the global bound holds
+      // strictly while eviction stays lock-local to one shard.
+      shard->cap = cap / shard_count + (i < cap % shard_count ? 1 : 0);
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -63,6 +90,10 @@ bool SharedScoreCache::Session::lookup_canonical(const alloc::DmmConfig& canon,
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) return false;
   *out = it->second.entry;
+  if (shard.cap > 0) {
+    // Touch: move to the recent end of the shard's LRU list.
+    shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
+  }
   owner_->hits_.fetch_add(1, std::memory_order_relaxed);
   if (it->second.search_id == kPersistedSearchId) {
     // Replayed by a previous process (snapshot entry) — warm-start hit,
@@ -81,12 +112,31 @@ void SharedScoreCache::Session::insert_canonical(const alloc::DmmConfig& canon,
   const Key key{trace_fingerprint_, canon};
   Shard& shard = owner_->shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.m);
+  if (owner_->insert_locked(shard, key, entry, search_id_)) {
+    owner_->insertions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool SharedScoreCache::insert_locked(Shard& shard, const Key& key,
+                                     const Entry& entry,
+                                     std::uint64_t search_id) {
   // First writer wins: replays are deterministic, so a concurrent loser
   // holds a bit-identical entry and the stored search_id keeps naming the
   // session whose replay the map retains.
-  const auto [it, inserted] = shard.map.emplace(key, Stored{entry, search_id_});
-  (void)it;
-  if (inserted) owner_->insertions_.fetch_add(1, std::memory_order_relaxed);
+  const auto [it, inserted] = shard.map.emplace(key, Stored{entry, search_id});
+  if (!inserted) return false;
+  if (shard.cap > 0) {
+    shard.lru.push_back(key);
+    it->second.lru_it = std::prev(shard.lru.end());
+    if (shard.map.size() > shard.cap) {
+      // Evict the shard's least-recent entry.  cap >= 1 and the new key
+      // sits at the back, so the front is always an older, distinct key.
+      shard.map.erase(shard.lru.front());
+      shard.lru.pop_front();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return true;
 }
 
 std::size_t SharedScoreCache::size() const {
@@ -106,6 +156,7 @@ SharedScoreCache::Stats SharedScoreCache::stats() const {
   s.persisted_hits = persisted_hits_.load(std::memory_order_relaxed);
   s.insertions = insertions_.load(std::memory_order_relaxed);
   s.persisted_entries = persisted_entries_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
   s.entries = size();
   return s;
 }
@@ -114,6 +165,7 @@ void SharedScoreCache::clear() {
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->m);
     shard->map.clear();
+    shard->lru.clear();
   }
 }
 

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -124,7 +125,44 @@ class SharedScoreCache {
   /// sessions are numbered from 1).
   static constexpr std::uint64_t kPersistedSearchId = 0;
 
+  /// Optional growth bound for long-running processes (the dmm_serve
+  /// daemon).  0 means unbounded on that axis; when both axes are set the
+  /// tighter one wins.  max_bytes is converted to an entry budget via
+  /// kApproxEntryBytes — a documented approximation of per-entry heap
+  /// cost, not an exact accounting.
+  struct Limits {
+    std::size_t max_entries = 0;
+    std::size_t max_bytes = 0;
+  };
+
+  /// Approximate bytes one live entry costs: key (fingerprint + decision
+  /// vector), stored record (SimResult + provenance + LRU hook), and the
+  /// hash-node / list-node overhead around them.  Fixed by contract so a
+  /// given max_bytes maps to the same entry budget on every platform.
+  static constexpr std::size_t kApproxEntryBytes = 256;
+
   explicit SharedScoreCache(std::size_t shard_count = kDefaultShards);
+
+  /// Bounded cache: at most capacity() entries stay live, and inserting
+  /// past the bound evicts in LRU-ish order.  "LRU-ish" because recency is
+  /// tracked per shard — the globally least-recent entry can survive while
+  /// a hotter shard is the one at capacity — which keeps eviction a
+  /// lock-local operation.  Small bounds collapse to a single shard (see
+  /// kMinEntriesPerBoundedShard), where eviction is exact LRU; for a
+  /// deterministic operation sequence the evicted set is deterministic
+  /// either way.
+  explicit SharedScoreCache(const Limits& limits,
+                            std::size_t shard_count = kDefaultShards);
+
+  /// A bounded shard never holds fewer than this many entries (except when
+  /// the whole budget is smaller).  Hash skew makes an over-split bound
+  /// evict long before the cache is globally full — a 64-entry budget cut
+  /// into 16 four-entry shards starts evicting at ~20 live entries — so
+  /// tight budgets trade striping for exact LRU instead.
+  static constexpr std::size_t kMinEntriesPerBoundedShard = 64;
+
+  /// Entry bound this cache enforces (0 = unbounded).
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   /// Whole-cache counters (monotonic; snapshot under the shard locks).
   struct Stats {
@@ -134,6 +172,7 @@ class SharedScoreCache {
     std::uint64_t persisted_hits = 0;     ///< ... served from snapshot entries
     std::uint64_t insertions = 0;         ///< entries added by searches
     std::uint64_t persisted_entries = 0;  ///< entries imported by load()
+    std::uint64_t evictions = 0;          ///< entries displaced by the bound
     std::uint64_t entries = 0;            ///< live entries (== size())
   };
 
@@ -211,23 +250,38 @@ class SharedScoreCache {
   struct Stored {
     Entry entry{};
     std::uint64_t search_id = 0;  ///< session that paid for the replay
+    /// Position in the shard's recency list; meaningful only when the
+    /// cache is bounded (shard.cap > 0).
+    std::list<Key>::iterator lru_it{};
   };
   struct Shard {
     mutable std::mutex m;
     std::unordered_map<Key, Stored, KeyHash> map;
+    /// Recency order, least-recent first; maintained only when cap > 0.
+    std::list<Key> lru;
+    std::size_t cap = 0;  ///< entry bound for this shard (0 = unbounded)
   };
 
   [[nodiscard]] Shard& shard_for(const Key& key);
 
+  /// Inserts under the shard lock, evicting the shard's least-recent entry
+  /// when the insert would exceed its bound.  First writer wins; returns
+  /// whether the key was newly inserted.  Shared by Session inserts and
+  /// snapshot import so both honor the bound identically.
+  bool insert_locked(Shard& shard, const Key& key, const Entry& entry,
+                     std::uint64_t search_id);
+
   // Shard count is fixed at construction, so the vector is never resized
   // and Shard addresses stay stable without a global lock.
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t capacity_ = 0;  ///< total entry bound (0 = unbounded)
   std::atomic<std::uint64_t> next_search_id_{1};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> cross_search_hits_{0};
   std::atomic<std::uint64_t> persisted_hits_{0};
   std::atomic<std::uint64_t> insertions_{0};
   std::atomic<std::uint64_t> persisted_entries_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 /// Replays @p trace through a manager built from @p job.cfg — one isolated

@@ -52,19 +52,27 @@ class Explorer {
   /// paper_order() by default) — the CLIs' `--search` entry point.
   [[nodiscard]] ExplorationResult run();
 
+  // The three conveniences below predate the unified request surface and
+  // are kept as thin adapters over run_strategy(): each builds the same
+  // strategy a SearchSpec would and is pinned bit-for-bit against it at
+  // 1/2/4/8 threads by tests/test_api_request.cpp.  New code should state
+  // the whole ask as an api::DesignRequest (dmm/api/design_api.h) and call
+  // api::run_design_request(), which routes through the same machinery.
+
   /// Greedy ordered traversal: decide trees in @p order, scoring each
   /// admissible leaf by replaying the trace on the repaired completion.
+  /// Adapter for run_strategy(*make_strategy(SearchSpec{kGreedy})).
   [[nodiscard]] ExplorationResult explore(
       const std::vector<TreeId>& order = paper_order());
 
   /// Exhaustively scores the cartesian product of the given trees' leaves
   /// (other trees repaired from defaults).  Stops after @p max_evals
-  /// evaluations (replays + cache hits).
+  /// evaluations (replays + cache hits).  Adapter for ExhaustiveSearch.
   [[nodiscard]] ExplorationResult exhaustive(const std::vector<TreeId>& trees,
                                              std::size_t max_evals = 100000);
 
   /// Uniform random sampling of full decision vectors (invalid ones are
-  /// rejected without simulation).
+  /// rejected without simulation).  Adapter for RandomSearch.
   [[nodiscard]] ExplorationResult random_search(std::size_t samples,
                                                 unsigned seed = 1);
 

@@ -79,6 +79,13 @@ struct MethodologyResult {
 /// The paper's flow in one call: (profile already done — @p trace),
 /// detect/respect phases, traverse the ordered trees per phase, and return
 /// the atomic decision vectors plus a factory for the global manager.
+///
+/// This is the single-trace adapter under the unified request surface:
+/// api::run_design_request() (dmm/api/design_api.h) bridges a
+/// DesignRequest onto exactly this call, and tests/test_api_request.cpp
+/// pins the two bit-for-bit at 1/2/4/8 threads.  Prefer a DesignRequest
+/// when the ask comes from a CLI, the dmm_serve daemon, or anywhere the
+/// knobs should be validated and serialized as one value.
 [[nodiscard]] MethodologyResult design_manager(
     const AllocTrace& trace, const MethodologyOptions& options = {});
 
@@ -161,6 +168,11 @@ struct FamilyDesignResult {
 /// Phases are not split in family mode — the result is one atomic manager.
 /// Throws std::invalid_argument on an empty family or a weight list whose
 /// size does not match the trace count.
+///
+/// Like design_manager(), this is an adapter under the unified request
+/// surface: a multi-trace api::DesignRequest bridges onto exactly this
+/// call (aggregate objective included), pinned bit-for-bit by
+/// tests/test_api_request.cpp.
 [[nodiscard]] FamilyDesignResult design_manager_family(
     const std::vector<AllocTrace>& traces,
     const FamilyDesignOptions& options = {});

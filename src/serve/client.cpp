@@ -1,0 +1,138 @@
+#include "dmm/serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace dmm::serve {
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect_to(const std::string& socket_path, std::string* why) {
+  close();
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    *why = "socket path must be 1 to " +
+           std::to_string(sizeof(addr.sun_path) - 1) + " bytes: '" +
+           socket_path + "'";
+    return false;
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *why = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    *why = "connect " + socket_path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::send_frame(FrameType type, const std::string& payload,
+                        std::string* why) {
+  if (fd_ < 0) {
+    *why = "not connected";
+    return false;
+  }
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    *why = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool Client::send_request(const api::DesignRequest& req, std::string* why) {
+  return send_frame(FrameType::kRequest, api::serialize_request(req), why);
+}
+
+bool Client::send_cancel(std::string* why) {
+  return send_frame(FrameType::kCancel, "", why);
+}
+
+bool Client::send_shutdown(std::string* why) {
+  return send_frame(FrameType::kShutdown, "", why);
+}
+
+Client::Event Client::next(api::ProgressEvent* progress,
+                           api::DesignReply* reply, std::string* error) {
+  for (;;) {
+    Frame frame;
+    std::string why;
+    const FrameReader::Status st = reader_.next(&frame, &why);
+    if (st == FrameReader::Status::kError) {
+      *error = "bad frame from server: " + why;
+      return Event::kError;
+    }
+    if (st == FrameReader::Status::kFrame) {
+      switch (frame.type) {
+        case FrameType::kProgress:
+          if (!api::parse_progress(frame.payload, progress, &why)) {
+            *error = "bad progress payload: " + why;
+            return Event::kError;
+          }
+          return Event::kProgress;
+        case FrameType::kReply:
+          if (!api::parse_reply(frame.payload, reply, &why)) {
+            *error = "bad reply payload: " + why;
+            return Event::kError;
+          }
+          return Event::kReply;
+        case FrameType::kError:
+          *error = frame.payload;
+          return Event::kError;
+        default:
+          // A frame type this client does not know: skip it — the frames
+          // we care about are still well delimited.
+          continue;
+      }
+    }
+    // kNeedMore: block for bytes.
+    if (fd_ < 0) {
+      *error = "not connected";
+      return Event::kError;
+    }
+    std::uint8_t buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      reader_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      if (reader_.pending_bytes() > 0) {
+        *error = "connection closed mid-frame";
+        return Event::kError;
+      }
+      return Event::kClosed;
+    }
+    *error = std::string("recv: ") + std::strerror(errno);
+    return Event::kError;
+  }
+}
+
+}  // namespace dmm::serve

@@ -1,0 +1,68 @@
+#ifndef DMM_SERVE_CLIENT_H
+#define DMM_SERVE_CLIENT_H
+
+// Blocking client of a dmm_serve daemon: connect, send a DesignRequest,
+// then read the stream of progress beats until the reply lands.  One
+// connection carries one request at a time (the daemon rejects overlap
+// per connection); cancel and shutdown are one-frame asks.
+//
+//   Client client;
+//   client.connect_to(path, &why);
+//   client.send_request(req, &why);
+//   for (;;) {
+//     switch (client.next(&progress, &reply, &err)) {
+//       case Client::Event::kProgress: ...; break;
+//       case Client::Event::kReply:    ...; goto done;   // ok or not
+//       case Client::Event::kError:    ...; goto done;   // stream dead
+//       case Client::Event::kClosed:   ...; goto done;
+//     }
+//   }
+
+#include <string>
+
+#include "dmm/api/design_api.h"
+#include "dmm/serve/frame.h"
+
+namespace dmm::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] bool connect_to(const std::string& socket_path,
+                                std::string* why);
+
+  [[nodiscard]] bool send_request(const api::DesignRequest& req,
+                                  std::string* why);
+  [[nodiscard]] bool send_cancel(std::string* why);
+  [[nodiscard]] bool send_shutdown(std::string* why);
+
+  enum class Event : std::uint8_t {
+    kProgress,  ///< *progress filled
+    kReply,     ///< *reply filled (inspect reply.ok)
+    kError,     ///< *error filled: server error frame, or framing/parse
+                ///< failure on our side — the stream is no longer usable
+    kClosed,    ///< the daemon closed the connection
+  };
+
+  /// Blocks for the next server frame.
+  [[nodiscard]] Event next(api::ProgressEvent* progress,
+                           api::DesignReply* reply, std::string* error);
+
+  void close();
+
+ private:
+  [[nodiscard]] bool send_frame(FrameType type, const std::string& payload,
+                                std::string* why);
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace dmm::serve
+
+#endif  // DMM_SERVE_CLIENT_H

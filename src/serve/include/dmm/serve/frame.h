@@ -1,0 +1,98 @@
+#ifndef DMM_SERVE_FRAME_H
+#define DMM_SERVE_FRAME_H
+
+// The dmm_serve wire framing: length-prefixed, checksummed frames carrying
+// the api-layer text payloads (design_api.h) over a byte stream.
+//
+// Layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     4  magic "DMMF"
+//        4     4  frame-format version (kFrameVersion)
+//        8     4  frame type (FrameType)
+//       12     4  payload length in bytes (<= kMaxFramePayload)
+//       16     n  payload (the serialized request/reply/progress text)
+//     16+n     8  FNV-1a 64 checksum over header + payload
+//
+// Untrusted-input discipline, same as the cache snapshot: the reader
+// validates magic, version, length bound, and checksum before a frame is
+// surfaced, and a stream that fails any check is *poisoned* — framing can
+// no longer be trusted, so the connection must be dropped after the error
+// is reported.  A well-framed payload that fails to parse is the payload
+// layer's problem (a per-request error reply), never the reader's.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmm::serve {
+
+/// What a frame carries.  Client-to-server: kRequest / kCancel /
+/// kShutdown.  Server-to-client: kProgress / kReply / kError.  The value
+/// is validated by the *consumer* (an unknown type is a per-request error
+/// reply, not a framing error), so newer peers can add types without
+/// poisoning older streams.
+enum class FrameType : std::uint32_t {
+  kRequest = 1,
+  kCancel = 2,
+  kShutdown = 3,
+  kProgress = 4,
+  kReply = 5,
+  kError = 6,
+};
+
+inline constexpr char kFrameMagic[4] = {'D', 'M', 'M', 'F'};
+inline constexpr std::uint32_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+inline constexpr std::size_t kFrameChecksumBytes = 8;
+/// Largest accepted payload: a crafted length field must never make the
+/// reader buffer gigabytes waiting for a frame that can't be real.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+/// One decoded frame.  `type` is the raw wire value re-expressed as the
+/// enum; values outside the known set are preserved for the consumer to
+/// reject at its own layer.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Encodes one frame (header + payload + checksum), ready to write to the
+/// socket.  @p payload must be within kMaxFramePayload (asserted).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    FrameType type, const std::string& payload);
+
+/// Incremental frame decoder over an untrusted byte stream.  feed() bytes
+/// as they arrive; next() surfaces complete, validated frames one at a
+/// time.  After the first framing error the reader is poisoned: every
+/// further next() reports the same error, and the owner should close the
+/// connection.
+class FrameReader {
+ public:
+  enum class Status : std::uint8_t {
+    kFrame,     ///< *out holds the next validated frame
+    kNeedMore,  ///< no complete frame buffered yet
+    kError,     ///< framing violated; *why says how, reader is poisoned
+  };
+
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Decodes the next frame from the buffered bytes.
+  [[nodiscard]] Status next(Frame* out, std::string* why);
+
+  /// Bytes buffered but not yet consumed by a complete frame — non-zero
+  /// at connection EOF means the peer sent a truncated frame.
+  [[nodiscard]] std::size_t pending_bytes() const { return buf_.size(); }
+
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+};
+
+}  // namespace dmm::serve
+
+#endif  // DMM_SERVE_FRAME_H

@@ -1,0 +1,568 @@
+#include "dmm/serve/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dmm/alloc/config.h"
+#include "dmm/api/design_api.h"
+#include "dmm/core/methodology.h"
+#include "dmm/core/phase.h"
+#include "dmm/core/search.h"
+#include "dmm/serve/frame.h"
+
+namespace dmm::serve {
+
+namespace {
+
+/// Poll timeout while no session is runnable — bounds how late a
+/// should_stop()/request_stop() shutdown is noticed.
+constexpr int kIdlePollMs = 200;
+
+/// Progress frames are advisory: when a client falls this many unread
+/// bytes behind, beats are dropped instead of buffered without bound.
+/// Replies and errors always queue.
+constexpr std::size_t kMaxOutbufBytes = 256 * 1024;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// One in-flight request, run as the exact search sequence design_manager()
+/// / design_manager_family() would execute — per-phase walks (empty phases
+/// reuse defaults), optional exhaustive validation passes, one family-wide
+/// search — but dealt in step() slices so requests interleave.  Search
+/// outcomes are bit-identical to the library path: a request's job stream
+/// does not depend on what other sessions run, only the simulations vs
+/// cache-hits split does.
+struct DesignSession {
+  api::DesignRequest request;
+  /// Stable home of the options every SearchContext of this session holds
+  /// a reference to; shared_cache points at the daemon-wide cache.
+  core::ExplorerOptions opts;
+  std::vector<core::AllocTrace> traces;
+  bool family = false;
+
+  // Single-trace mode: the phase cursor (family mode runs one search).
+  std::vector<core::AllocTrace> sub_traces;
+  std::size_t phase_index = 0;
+  bool in_validation = false;
+
+  // The open search, when one is running.
+  std::unique_ptr<core::SearchContext> ctx;
+  std::unique_ptr<core::SearchStrategy> strategy;
+  bool done = false;
+
+  api::DesignReply reply;        ///< accumulated across finished searches
+  std::uint64_t acc_evals = 0;   ///< evaluations charged by finished searches
+  bool cancelled = false;        ///< kCancel seen; honoured at next turn
+};
+
+}  // namespace
+
+struct Server::Impl {
+  ServeOptions options;
+  std::shared_ptr<core::SharedScoreCache> cache;
+  std::unique_ptr<core::EvalEngine> engine;
+  int listen_fd = -1;
+  bool started = false;
+  std::atomic<bool> stop_flag{false};
+  bool shutdown_frame = false;
+
+  struct Connection {
+    int fd = -1;
+    FrameReader reader;
+    std::string outbuf;
+    bool close_after_flush = false;
+    std::unique_ptr<DesignSession> session;
+  };
+  std::vector<std::unique_ptr<Connection>> conns;
+
+  explicit Impl(ServeOptions o)
+      : options(std::move(o)),
+        cache(std::make_shared<core::SharedScoreCache>(options.cache_limits)),
+        engine(core::make_engine(options.num_threads)) {}
+
+  ~Impl() {
+    for (const std::unique_ptr<Connection>& c : conns) {
+      if (c->fd >= 0) ::close(c->fd);
+    }
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+
+  bool start(std::string* why) {
+    sockaddr_un addr{};
+    if (options.socket_path.empty() ||
+        options.socket_path.size() >= sizeof(addr.sun_path)) {
+      *why = "socket path must be 1 to " +
+             std::to_string(sizeof(addr.sun_path) - 1) + " bytes: '" +
+             options.socket_path + "'";
+      return false;
+    }
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+      *why = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    if (!set_nonblocking(listen_fd)) {
+      *why = std::string("fcntl: ") + std::strerror(errno);
+      return false;
+    }
+    // The daemon owns its socket path: a stale file from a previous run
+    // must not block startup.
+    ::unlink(options.socket_path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, options.socket_path.c_str(),
+                options.socket_path.size() + 1);
+    if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      *why = "bind " + options.socket_path + ": " + std::strerror(errno);
+      return false;
+    }
+    if (::listen(listen_fd, 16) != 0) {
+      *why = std::string("listen: ") + std::strerror(errno);
+      return false;
+    }
+    // Warm start, best effort: a missing or rejected snapshot is a cold
+    // cache, never a startup failure.
+    if (!options.cache_file.empty()) (void)cache->load(options.cache_file);
+    started = true;
+    return true;
+  }
+
+  // -- connection plumbing --------------------------------------------------
+
+  void kill_connection(Connection& c) {
+    if (c.fd >= 0) {
+      ::close(c.fd);
+      c.fd = -1;
+    }
+    c.session.reset();
+    c.outbuf.clear();
+  }
+
+  void flush(Connection& c) {
+    while (c.fd >= 0 && !c.outbuf.empty()) {
+      const ssize_t n =
+          ::send(c.fd, c.outbuf.data(), c.outbuf.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        c.outbuf.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      kill_connection(c);  // peer gone; its session dies with it
+      return;
+    }
+    if (c.fd >= 0 && c.outbuf.empty() && c.close_after_flush) {
+      kill_connection(c);
+    }
+  }
+
+  void queue_frame(Connection& c, FrameType type, const std::string& payload) {
+    if (c.fd < 0) return;
+    const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+    c.outbuf.append(reinterpret_cast<const char*>(frame.data()), frame.size());
+    flush(c);
+  }
+
+  /// A well-framed but unusable ask: the reply says why, the connection
+  /// stays open for the next request.
+  void queue_error_reply(Connection& c, const std::string& error) {
+    api::DesignReply reply;
+    reply.error = error;
+    queue_frame(c, FrameType::kReply, api::serialize_reply(reply));
+  }
+
+  void accept_connections() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN or a transient error: retry next loop turn
+      }
+      if (!set_nonblocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      auto c = std::make_unique<Connection>();
+      c->fd = fd;
+      conns.push_back(std::move(c));
+    }
+  }
+
+  // -- session lifecycle ----------------------------------------------------
+
+  /// Opens the search of the next non-empty phase; empty phases reuse the
+  /// defaults vector, exactly as design_manager() does.
+  void open_next_phase(DesignSession& s) {
+    s.ctx.reset();
+    s.strategy.reset();
+    while (s.phase_index < s.sub_traces.size() &&
+           s.sub_traces[s.phase_index].empty()) {
+      s.reply.phase_signatures.push_back(alloc::signature(s.opts.defaults));
+      ++s.phase_index;
+    }
+    if (s.phase_index >= s.sub_traces.size()) {
+      s.done = true;
+      return;
+    }
+    const core::AllocTrace& sub = s.sub_traces[s.phase_index];
+    s.ctx = std::make_unique<core::SearchContext>(sub, sub.fingerprint(),
+                                                  s.opts, *engine);
+    s.strategy = core::make_strategy(s.opts.search, core::paper_order(),
+                                     core::high_impact_trees());
+    s.strategy->reset();
+    s.in_validation = false;
+  }
+
+  /// The per-phase ground-truth pass of MethodologyOptions::validate —
+  /// the same exhaustive search design_manager() runs after each walk.
+  void open_validation(DesignSession& s) {
+    const core::AllocTrace& sub = s.sub_traces[s.phase_index];
+    s.ctx = std::make_unique<core::SearchContext>(sub, sub.fingerprint(),
+                                                  s.opts, *engine);
+    s.strategy = std::make_unique<core::ExhaustiveSearch>(
+        core::high_impact_trees(),
+        core::MethodologyOptions{}.validation_max_evals);
+    s.strategy->reset();
+    s.in_validation = true;
+  }
+
+  /// Parses and admits one kRequest frame; returns the rejection reason
+  /// ("" = admitted).  Rejections never disturb the connection.
+  std::string begin_session(Connection& c, const std::string& payload) {
+    if (c.session != nullptr) {
+      return "a request is already in flight on this connection";
+    }
+    auto s = std::make_unique<DesignSession>();
+    std::string why;
+    if (!api::parse_request(payload, &s->request, &why)) return why;
+    if (!s->request.cache_file.empty()) {
+      return "cache-file is daemon-owned; remove it from the request";
+    }
+    if (!api::load_traces(s->request, &s->traces, &why)) return why;
+    s->opts = api::to_explorer_options(s->request);
+    if (s->opts.cache) s->opts.shared_cache = cache;
+    s->family = s->traces.size() >= 2;
+    s->reply.family = s->family;
+    if (s->family) {
+      std::vector<core::FamilyEvalMember> members;
+      members.reserve(s->traces.size());
+      for (std::size_t i = 0; i < s->traces.size(); ++i) {
+        core::FamilyEvalMember m;
+        // Aliasing, non-owning: s->traces outlives the context.
+        m.trace = std::shared_ptr<const core::AllocTrace>(
+            std::shared_ptr<const core::AllocTrace>(), &s->traces[i]);
+        m.fingerprint = m.trace->fingerprint();
+        m.weight = s->request.weights.empty() ? 1.0 : s->request.weights[i];
+        members.push_back(std::move(m));
+      }
+      s->ctx = std::make_unique<core::SearchContext>(
+          std::move(members), s->request.aggregate, s->opts, *engine);
+      s->strategy = core::make_strategy(s->opts.search, core::paper_order(),
+                                        core::high_impact_trees());
+      s->strategy->reset();
+    } else {
+      s->reply.feasible = true;
+      s->sub_traces = core::split_by_phase(s->traces[0]);
+      open_next_phase(*s);
+    }
+    c.session = std::move(s);
+    return "";
+  }
+
+  void fill_cache_state(api::DesignReply& reply) {
+    reply.cache_entries = cache->size();
+    reply.cache_evictions = cache->stats().evictions;
+  }
+
+  /// Harvests the open search's accounting mid-flight (cancellation,
+  /// budget exhaustion, shutdown) so the reply reports the work done.
+  void absorb_open_search(DesignSession& s) {
+    if (s.ctx == nullptr) return;
+    s.acc_evals += s.ctx->evaluations();
+    const core::ExplorationResult r = s.ctx->finish();
+    s.ctx.reset();
+    s.strategy.reset();
+    s.reply.simulations += r.simulations;
+    s.reply.cache_hits += r.cache_hits;
+    s.reply.cross_search_hits += r.cross_search_hits;
+    s.reply.persisted_hits += r.persisted_hits;
+  }
+
+  void finalize_ok(Connection& c) {
+    DesignSession& s = *c.session;
+    s.reply.ok = true;
+    s.reply.evaluations = s.reply.simulations + s.reply.cache_hits;
+    fill_cache_state(s.reply);
+    queue_frame(c, FrameType::kReply, api::serialize_reply(s.reply));
+    c.session.reset();
+  }
+
+  void finalize_aborted(Connection& c, const std::string& error,
+                        bool cancelled, bool budget_exhausted) {
+    DesignSession& s = *c.session;
+    absorb_open_search(s);
+    s.reply.ok = false;
+    s.reply.error = error;
+    s.reply.cancelled = cancelled;
+    s.reply.budget_exhausted = budget_exhausted;
+    s.reply.evaluations = s.reply.simulations + s.reply.cache_hits;
+    fill_cache_state(s.reply);
+    queue_frame(c, FrameType::kReply, api::serialize_reply(s.reply));
+    c.session.reset();
+  }
+
+  /// One finished search of the session: harvest it and open what follows
+  /// (validation pass, next phase, or the reply).  Mirrors the harvesting
+  /// run_design_request() does over design_manager's results.
+  void finish_search(Connection& c) {
+    DesignSession& s = *c.session;
+    s.acc_evals += s.ctx->evaluations();
+    const core::ExplorationResult r = s.ctx->finish();
+    s.ctx.reset();
+    s.strategy.reset();
+    s.reply.simulations += r.simulations;
+    s.reply.cache_hits += r.cache_hits;
+    s.reply.cross_search_hits += r.cross_search_hits;
+    s.reply.persisted_hits += r.persisted_hits;
+    if (s.family) {
+      s.reply.feasible = r.feasible;
+      s.reply.phase_signatures.push_back(alloc::signature(r.best));
+      s.reply.best_peak = r.best_sim.peak_footprint;
+      s.reply.aggregate_objective =
+          core::candidate_objective(s.opts, r.best_sim, r.work_steps);
+      s.done = true;
+    } else if (!s.in_validation) {
+      if (!r.feasible) s.reply.feasible = false;
+      if (r.best_sim.peak_footprint > s.reply.best_peak) {
+        s.reply.best_peak = r.best_sim.peak_footprint;
+      }
+      s.reply.phase_signatures.push_back(alloc::signature(r.best));
+      if (s.request.validate) {
+        open_validation(s);
+      } else {
+        ++s.phase_index;
+        open_next_phase(s);
+      }
+    } else {
+      // Validation charges its accounting; the walk's outcome stands.
+      ++s.phase_index;
+      open_next_phase(s);
+    }
+    if (s.done) finalize_ok(c);
+  }
+
+  void queue_progress(Connection& c) {
+    DesignSession& s = *c.session;
+    if (c.outbuf.size() > kMaxOutbufBytes) return;  // lossy by design
+    api::ProgressEvent ev;
+    ev.phase = static_cast<std::uint32_t>(s.family ? 0 : s.phase_index);
+    ev.phase_count =
+        static_cast<std::uint32_t>(s.family ? 1 : s.sub_traces.size());
+    ev.evaluations =
+        s.acc_evals + (s.ctx != nullptr ? s.ctx->evaluations() : 0);
+    ev.simulations = s.reply.simulations;
+    ev.cache_hits = s.reply.cache_hits;
+    if (s.ctx != nullptr) {
+      const core::ExplorationResult& r = s.ctx->result();
+      ev.simulations += r.simulations;
+      ev.cache_hits += r.cache_hits;
+      // evals_to_best is recorded when an offer displaces the incumbent;
+      // ordered walks crown only at the end (within one turn anyway).
+      if (r.evals_to_best > 0) {
+        ev.has_incumbent = true;
+        ev.incumbent_peak = r.best_sim.peak_footprint;
+        ev.incumbent = alloc::signature(r.best);
+      }
+    }
+    queue_frame(c, FrameType::kProgress, api::serialize_progress(ev));
+  }
+
+  /// One scheduler turn: honour a pending cancel, meter the budget, deal
+  /// one step() slice, stream a progress beat.
+  void session_turn(Connection& c) {
+    DesignSession& s = *c.session;
+    if (s.cancelled) {
+      finalize_aborted(c, "cancelled by client", true, false);
+      return;
+    }
+    std::size_t slice = options.slice_evals == 0 ? 64 : options.slice_evals;
+    if (s.request.eval_budget > 0) {
+      const std::uint64_t charged =
+          s.acc_evals + (s.ctx != nullptr ? s.ctx->evaluations() : 0);
+      if (charged >= s.request.eval_budget) {
+        finalize_aborted(c, "evaluation budget exhausted", false, true);
+        return;
+      }
+      const std::uint64_t left = s.request.eval_budget - charged;
+      if (left < slice) slice = static_cast<std::size_t>(left);
+    }
+    const bool more = s.strategy->step(*s.ctx, slice);
+    queue_progress(c);
+    if (!more) finish_search(c);
+  }
+
+  // -- frame dispatch -------------------------------------------------------
+
+  void handle_frame(Connection& c, const Frame& f) {
+    switch (f.type) {
+      case FrameType::kRequest: {
+        const std::string err = begin_session(c, f.payload);
+        if (!err.empty()) queue_error_reply(c, err);
+        break;
+      }
+      case FrameType::kCancel:
+        if (c.session != nullptr) {
+          c.session->cancelled = true;
+        } else {
+          queue_error_reply(c, "no request in flight to cancel");
+        }
+        break;
+      case FrameType::kShutdown:
+        shutdown_frame = true;
+        break;
+      default:
+        // Unknown types are a consumer-level error: reply and carry on,
+        // so a newer client's extra frames never poison the stream.
+        queue_error_reply(
+            c, "unknown frame type " +
+                   std::to_string(static_cast<std::uint32_t>(f.type)));
+        break;
+    }
+  }
+
+  void read_input(Connection& c) {
+    std::uint8_t buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        c.reader.feed(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // EOF or a hard error: the peer is gone.  A truncated frame at EOF
+      // needs no reply — nobody is left to read one — and an abandoned
+      // session dies with its connection, freeing its budget.
+      kill_connection(c);
+      return;
+    }
+    for (;;) {
+      Frame f;
+      std::string why;
+      const FrameReader::Status st = c.reader.next(&f, &why);
+      if (st == FrameReader::Status::kNeedMore) break;
+      if (st == FrameReader::Status::kError) {
+        // Framing is untrustworthy from here on: say why, then drop the
+        // connection — but only this connection.
+        queue_frame(c, FrameType::kError, why);
+        c.close_after_flush = true;
+        flush(c);
+        break;
+      }
+      handle_frame(c, f);
+      if (c.fd < 0 || c.close_after_flush) break;
+    }
+  }
+
+  // -- the event loop -------------------------------------------------------
+
+  bool should_shutdown() {
+    return shutdown_frame || stop_flag.load(std::memory_order_relaxed) ||
+           (options.should_stop && options.should_stop());
+  }
+
+  void shutdown_now() {
+    for (const std::unique_ptr<Connection>& c : conns) {
+      if (c->fd < 0) continue;
+      if (c->session != nullptr) {
+        finalize_aborted(*c, "daemon shutting down", false, false);
+      }
+      flush(*c);
+      kill_connection(*c);
+    }
+    conns.clear();
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    ::unlink(options.socket_path.c_str());
+    // The graceful exit persists everything every session replayed.
+    if (!options.cache_file.empty()) (void)cache->save(options.cache_file);
+  }
+
+  int run() {
+    if (!started) return 1;
+    std::vector<pollfd> fds;
+    while (!should_shutdown()) {
+      fds.clear();
+      fds.push_back(pollfd{listen_fd, POLLIN, 0});
+      bool any_session = false;
+      for (const std::unique_ptr<Connection>& c : conns) {
+        short ev = POLLIN;
+        if (!c->outbuf.empty()) ev = static_cast<short>(ev | POLLOUT);
+        fds.push_back(pollfd{c->fd, ev, 0});
+        if (c->session != nullptr) any_session = true;
+      }
+      // With runnable sessions the loop must not block — poll is only a
+      // readiness snapshot between scheduler rounds.
+      const int timeout = any_session ? 0 : kIdlePollMs;
+      const std::size_t polled = conns.size();
+      const int rc =
+          ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        break;  // unrecoverable poll failure: shut down cleanly
+      }
+      if ((fds[0].revents & POLLIN) != 0) accept_connections();
+      for (std::size_t i = 0; i < polled; ++i) {
+        Connection& c = *conns[i];
+        if (c.fd < 0) continue;
+        const short re = fds[i + 1].revents;
+        if ((re & (POLLIN | POLLHUP | POLLERR)) != 0) read_input(c);
+        if (c.fd >= 0 && (re & POLLOUT) != 0) flush(c);
+      }
+      // The scheduler: one slice per session per loop turn — round-robin
+      // fairness at slice granularity, the PortfolioSearch deal.
+      for (const std::unique_ptr<Connection>& c : conns) {
+        if (should_shutdown()) break;
+        if (c->fd >= 0 && c->session != nullptr) session_turn(*c);
+      }
+      std::erase_if(conns, [](const std::unique_ptr<Connection>& c) {
+        return c->fd < 0;
+      });
+    }
+    shutdown_now();
+    return 0;
+  }
+};
+
+Server::Server(ServeOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() = default;
+
+bool Server::start(std::string* why) { return impl_->start(why); }
+
+int Server::run() { return impl_->run(); }
+
+void Server::request_stop() {
+  impl_->stop_flag.store(true, std::memory_order_relaxed);
+}
+
+const core::SharedScoreCache& Server::cache() const { return *impl_->cache; }
+
+}  // namespace dmm::serve

@@ -1,0 +1,504 @@
+// The unified request API (src/api/design_api.h):
+//  * the wire form round-trips every field bit-exactly — doubles travel as
+//    IEEE-754 bit patterns, so even -0.0 and 1e300 survive — and rejects
+//    garbage, foreign payloads, and future versions without touching *out,
+//  * validate_request raises every inconsistent-ask error the CLIs always
+//    raised,
+//  * RequestCli parses the shared flag surface into the same request the
+//    hand-rolled example parsers used to build,
+//  * the adapters are *pinned*: run_design_request() is bit-for-bit
+//    design_manager() / design_manager_family(), and Explorer's
+//    convenience entry points (explore / exhaustive / random_search) are
+//    bit-for-bit run(strategy) — at 1, 2, 4, and 8 evaluation threads.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dmm/alloc/config.h"
+#include "dmm/api/design_api.h"
+#include "dmm/core/explorer.h"
+#include "dmm/core/methodology.h"
+#include "dmm/workloads/workload.h"
+
+namespace dmm::api {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 2, 4, 8};
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+DesignRequest full_request() {
+  DesignRequest req;
+  TraceRef workload;
+  workload.kind = TraceRef::Kind::kWorkload;
+  workload.workload = "recon3d";
+  workload.seed = 42;
+  TraceRef file;
+  file.kind = TraceRef::Kind::kFile;
+  file.path = "/tmp/some trace.bin";  // spaces must survive the wire
+  TraceRef third;
+  third.workload = "drr";
+  third.seed = 7;
+  req.traces = {workload, file, third};
+  req.max_events = 123456789;
+  req.aggregate = core::FamilyAggregate::kWeightedSum;
+  req.aggregate_set = true;
+  req.weights = {0.1, -0.0, 1e300};  // not exactly representable / signed
+                                     // zero / huge: bit patterns must hold
+  req.search_text = "portfolio:500:greedy+random:100:7";
+  req.num_threads = 8;
+  req.time_weight = 0.3;
+  req.cache = false;
+  req.validate = false;
+  req.cache_file = "/tmp/warm.cache";
+  req.eval_budget = 777;
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// Wire round trips
+// ---------------------------------------------------------------------------
+
+TEST(ApiWire, RequestRoundTripsBitExactly) {
+  const DesignRequest req = full_request();
+  DesignRequest back;
+  std::string why;
+  ASSERT_TRUE(parse_request(serialize_request(req), &back, &why)) << why;
+  ASSERT_EQ(back.traces.size(), 3u);
+  EXPECT_EQ(back.traces[0].kind, TraceRef::Kind::kWorkload);
+  EXPECT_EQ(back.traces[0].workload, "recon3d");
+  EXPECT_EQ(back.traces[0].seed, 42u);
+  EXPECT_EQ(back.traces[1].kind, TraceRef::Kind::kFile);
+  EXPECT_EQ(back.traces[1].path, "/tmp/some trace.bin");
+  EXPECT_EQ(back.traces[2].workload, "drr");
+  EXPECT_EQ(back.traces[2].seed, 7u);
+  EXPECT_EQ(back.max_events, req.max_events);
+  EXPECT_EQ(back.aggregate, req.aggregate);
+  EXPECT_EQ(back.aggregate_set, req.aggregate_set);
+  ASSERT_EQ(back.weights.size(), req.weights.size());
+  for (std::size_t i = 0; i < req.weights.size(); ++i) {
+    EXPECT_EQ(bits(back.weights[i]), bits(req.weights[i])) << "weight " << i;
+  }
+  EXPECT_EQ(back.search_text, req.search_text);
+  EXPECT_EQ(back.num_threads, req.num_threads);
+  EXPECT_EQ(bits(back.time_weight), bits(req.time_weight));
+  EXPECT_EQ(back.cache, req.cache);
+  EXPECT_EQ(back.validate, req.validate);
+  EXPECT_EQ(back.cache_file, req.cache_file);
+  EXPECT_EQ(back.eval_budget, req.eval_budget);
+}
+
+TEST(ApiWire, ReplyRoundTripsBitExactly) {
+  DesignReply reply;
+  reply.ok = true;
+  reply.cancelled = true;
+  reply.budget_exhausted = true;
+  reply.family = true;
+  reply.feasible = true;
+  reply.phase_signatures = {"A1=dll A2=many", "A1=sll A2=one"};
+  reply.best_peak = 1234567;
+  reply.aggregate_objective = 0.1 + 0.2;  // 0.30000000000000004 exactly
+  reply.evaluations = 100;
+  reply.simulations = 60;
+  reply.cache_hits = 40;
+  reply.cross_search_hits = 30;
+  reply.persisted_hits = 10;
+  reply.cache_entries = 55;
+  reply.cache_evictions = 5;
+  DesignReply back;
+  std::string why;
+  ASSERT_TRUE(parse_reply(serialize_reply(reply), &back, &why)) << why;
+  EXPECT_EQ(back.ok, reply.ok);
+  EXPECT_EQ(back.cancelled, reply.cancelled);
+  EXPECT_EQ(back.budget_exhausted, reply.budget_exhausted);
+  EXPECT_EQ(back.family, reply.family);
+  EXPECT_EQ(back.feasible, reply.feasible);
+  EXPECT_EQ(back.phase_signatures, reply.phase_signatures);
+  EXPECT_EQ(back.best_peak, reply.best_peak);
+  EXPECT_EQ(bits(back.aggregate_objective), bits(reply.aggregate_objective));
+  EXPECT_EQ(back.evaluations, reply.evaluations);
+  EXPECT_EQ(back.simulations, reply.simulations);
+  EXPECT_EQ(back.cache_hits, reply.cache_hits);
+  EXPECT_EQ(back.cross_search_hits, reply.cross_search_hits);
+  EXPECT_EQ(back.persisted_hits, reply.persisted_hits);
+  EXPECT_EQ(back.cache_entries, reply.cache_entries);
+  EXPECT_EQ(back.cache_evictions, reply.cache_evictions);
+}
+
+TEST(ApiWire, ErrorReplyRoundTripsTheReason) {
+  DesignReply reply;
+  reply.ok = false;
+  reply.error = "cache-file is daemon-owned; remove it from the request";
+  DesignReply back;
+  std::string why;
+  ASSERT_TRUE(parse_reply(serialize_reply(reply), &back, &why)) << why;
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.error, reply.error);
+}
+
+TEST(ApiWire, ProgressRoundTrips) {
+  ProgressEvent event;
+  event.phase = 2;
+  event.phase_count = 5;
+  event.evaluations = 321;
+  event.simulations = 300;
+  event.cache_hits = 21;
+  event.has_incumbent = true;
+  event.incumbent_peak = 98765;
+  event.incumbent = "A1=dll A2=many A3=none";
+  ProgressEvent back;
+  std::string why;
+  ASSERT_TRUE(parse_progress(serialize_progress(event), &back, &why)) << why;
+  EXPECT_EQ(back.phase, event.phase);
+  EXPECT_EQ(back.phase_count, event.phase_count);
+  EXPECT_EQ(back.evaluations, event.evaluations);
+  EXPECT_EQ(back.simulations, event.simulations);
+  EXPECT_EQ(back.cache_hits, event.cache_hits);
+  EXPECT_EQ(back.has_incumbent, event.has_incumbent);
+  EXPECT_EQ(back.incumbent_peak, event.incumbent_peak);
+  EXPECT_EQ(back.incumbent, event.incumbent);
+}
+
+TEST(ApiWire, ParseRejectsGarbageWithoutTouchingOut) {
+  DesignRequest out;
+  out.search_text = "sentinel";
+  std::string why;
+  EXPECT_FALSE(parse_request("", &out, &why));
+  EXPECT_FALSE(parse_request("complete garbage\n", &out, &why));
+  // A reply payload is not a request payload.
+  DesignReply reply;
+  reply.ok = true;
+  EXPECT_FALSE(parse_request(serialize_reply(reply), &out, &why));
+  EXPECT_NE(why.find("not a dmm-request"), std::string::npos) << why;
+  EXPECT_EQ(out.search_text, "sentinel") << "failed parse clobbered *out";
+}
+
+TEST(ApiWire, ParseRejectsFutureVersions) {
+  const std::string text = serialize_request(full_request());
+  const std::string bumped =
+      "dmm-request/" + std::to_string(DesignRequest::kVersion + 1) +
+      text.substr(text.find('\n'));
+  DesignRequest out;
+  std::string why;
+  EXPECT_FALSE(parse_request(bumped, &out, &why));
+  EXPECT_NE(why.find("version"), std::string::npos) << why;
+}
+
+TEST(ApiWire, ParseRejectsTruncatedAndMangledFields) {
+  const std::string text = serialize_request(full_request());
+  DesignRequest out;
+  std::string why;
+  // Cut mid-keyword: the trailing fragment is an unknown field.  (Cutting
+  // at a line boundary is legal — trailing fields just keep defaults — so
+  // the cut must land inside a key to be a parse error.)
+  const std::size_t mid = text.find("\nsearch ");
+  ASSERT_NE(mid, std::string::npos);
+  EXPECT_FALSE(parse_request(text.substr(0, mid + 4), &out, &why));
+  EXPECT_NE(why.find("unknown request field"), std::string::npos) << why;
+  // A non-numeric value where a number belongs.
+  std::string mangled = text;
+  const std::size_t pos = mangled.find("threads ");
+  ASSERT_NE(pos, std::string::npos);
+  mangled.replace(pos, 8, "threads x");
+  EXPECT_FALSE(parse_request(mangled, &out, &why));
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+TEST(ApiValidate, RaisesEveryInconsistentAsk) {
+  std::string why;
+  DesignRequest req;
+
+  req.traces.clear();
+  EXPECT_FALSE(validate_request(req, &why));
+  EXPECT_NE(why.find("no traces"), std::string::npos);
+
+  req = DesignRequest{};
+  req.traces.resize(1);
+  req.traces[0].workload.clear();
+  EXPECT_FALSE(validate_request(req, &why));
+
+  req = DesignRequest{};
+  req.traces.resize(1);
+  req.traces[0].kind = TraceRef::Kind::kFile;  // path left empty
+  EXPECT_FALSE(validate_request(req, &why));
+
+  req = DesignRequest{};
+  req.traces.resize(1);
+  req.search_text = "definitely-not-a-search";
+  EXPECT_FALSE(validate_request(req, &why));
+  EXPECT_NE(why.find("search"), std::string::npos);
+
+  req = DesignRequest{};
+  req.traces.resize(1);
+  req.aggregate_set = true;  // aggregate without a family
+  EXPECT_FALSE(validate_request(req, &why));
+
+  req = DesignRequest{};
+  req.traces.resize(1);
+  req.weights = {1.0};  // weights without a family
+  EXPECT_FALSE(validate_request(req, &why));
+
+  req = DesignRequest{};
+  req.traces.resize(3);
+  req.weights = {1.0, 2.0};  // count mismatch
+  EXPECT_FALSE(validate_request(req, &why));
+  EXPECT_NE(why.find("2 weights for 3 traces"), std::string::npos) << why;
+
+  req = DesignRequest{};
+  req.traces.resize(2);
+  req.validate = true;  // validation is single-trace only
+  EXPECT_FALSE(validate_request(req, &why));
+
+  req = DesignRequest{};
+  req.traces.resize(1);
+  EXPECT_TRUE(validate_request(req, &why)) << why;
+}
+
+// ---------------------------------------------------------------------------
+// RequestCli
+// ---------------------------------------------------------------------------
+
+/// Runs the shared parser over @p args exactly as the example mains do.
+RequestCli parse_cli(std::vector<std::string> args,
+                     const std::string& default_workload = "drr") {
+  RequestCli cli(default_workload);
+  std::vector<char*> argv = {const_cast<char*>("prog")};
+  for (std::string& a : args) argv.push_back(a.data());
+  const int argc = static_cast<int>(argv.size());
+  for (int i = 1; i < argc; ++i) {
+    const RequestCli::Arg arg = cli.consume(argc, argv.data(), &i);
+    EXPECT_EQ(arg, RequestCli::Arg::kConsumed)
+        << "flag '" << argv[i] << "' not consumed: " << cli.error();
+  }
+  return cli;
+}
+
+TEST(ApiCli, ParsesTheSharedFlagSurface) {
+  RequestCli cli = parse_cli({"--search", "beam:3", "--seed=5",
+                              "--max-events", "1234", "--threads=2",
+                              "--cache-file", "/tmp/x.cache", "--budget=99"});
+  ASSERT_TRUE(cli.finish()) << cli.error();
+  const DesignRequest& req = cli.request;
+  ASSERT_EQ(req.traces.size(), 1u);
+  EXPECT_EQ(req.traces[0].kind, TraceRef::Kind::kWorkload);
+  EXPECT_EQ(req.traces[0].workload, "drr");
+  EXPECT_EQ(req.traces[0].seed, 5u);
+  EXPECT_EQ(req.search_text, "beam:3");
+  EXPECT_EQ(req.max_events, 1234u);
+  EXPECT_EQ(req.num_threads, 2u);
+  EXPECT_EQ(req.cache_file, "/tmp/x.cache");
+  EXPECT_EQ(req.eval_budget, 99u);
+}
+
+TEST(ApiCli, FamilyElementsAreSeedsOrPaths) {
+  RequestCli cli = parse_cli(
+      {"--family", "1,2,/tmp/recorded.bin", "--aggregate", "wsum"},
+      "render3d");
+  ASSERT_TRUE(cli.finish()) << cli.error();
+  const DesignRequest& req = cli.request;
+  ASSERT_EQ(req.traces.size(), 3u);
+  EXPECT_EQ(req.traces[0].kind, TraceRef::Kind::kWorkload);
+  EXPECT_EQ(req.traces[0].workload, "render3d");  // digits = default
+                                                  // workload, that seed
+  EXPECT_EQ(req.traces[0].seed, 1u);
+  EXPECT_EQ(req.traces[1].seed, 2u);
+  EXPECT_EQ(req.traces[2].kind, TraceRef::Kind::kFile);
+  EXPECT_EQ(req.traces[2].path, "/tmp/recorded.bin");
+  EXPECT_EQ(req.aggregate, core::FamilyAggregate::kWeightedSum);
+  EXPECT_TRUE(req.aggregate_set);
+}
+
+TEST(ApiCli, RejectsBadValuesAtTheFlag) {
+  RequestCli cli;
+  char arg0[] = "prog";
+  char arg1[] = "--search";
+  char arg2[] = "bogus";
+  char* argv[] = {arg0, arg1, arg2};
+  int i = 1;
+  EXPECT_EQ(cli.consume(3, argv, &i), RequestCli::Arg::kError);
+  EXPECT_NE(cli.error().find("--search"), std::string::npos);
+}
+
+TEST(ApiCli, FinishRaisesTheAggregateWithoutFamilyError) {
+  RequestCli cli = parse_cli({"--aggregate", "max"});
+  EXPECT_FALSE(cli.finish());
+  EXPECT_NE(cli.error().find("aggregate"), std::string::npos) << cli.error();
+}
+
+TEST(ApiCli, TraceFlagsCanBeDisabled) {
+  RequestCli cli;
+  cli.allow_trace_flags = false;
+  char arg0[] = "prog";
+  char arg1[] = "--seed=9";
+  char* argv[] = {arg0, arg1};
+  int i = 1;
+  EXPECT_EQ(cli.consume(2, argv, &i), RequestCli::Arg::kNotMine);
+}
+
+// ---------------------------------------------------------------------------
+// Bridges
+// ---------------------------------------------------------------------------
+
+TEST(ApiBridge, MapsEveryKnobOntoTheLegacyOptionStructs) {
+  const DesignRequest req = full_request();
+  const core::ExplorerOptions opts = to_explorer_options(req);
+  EXPECT_EQ(opts.num_threads, req.num_threads);
+  EXPECT_EQ(bits(opts.time_weight), bits(req.time_weight));
+  EXPECT_EQ(opts.cache, req.cache);
+  EXPECT_EQ(opts.search.kind, core::parse_search_spec(req.search_text)->kind);
+
+  const core::MethodologyOptions m = to_methodology_options(req);
+  EXPECT_EQ(m.validate, req.validate);
+  EXPECT_EQ(m.cache_file, req.cache_file);
+  EXPECT_EQ(m.explorer_options.num_threads, req.num_threads);
+
+  const core::FamilyDesignOptions f = to_family_options(req);
+  EXPECT_EQ(f.aggregate, req.aggregate);
+  ASSERT_EQ(f.weights.size(), req.weights.size());
+  EXPECT_EQ(f.cache_file, req.cache_file);
+}
+
+// ---------------------------------------------------------------------------
+// Adapter pinning: the legacy entry points and the request API must stay
+// bit-for-bit interchangeable, at every thread count.
+// ---------------------------------------------------------------------------
+
+DesignRequest small_drr_request(unsigned threads) {
+  DesignRequest req;
+  req.traces.resize(1);  // drr, seed 1
+  req.max_events = 2000;
+  req.num_threads = threads;
+  return req;
+}
+
+void expect_same_result(const core::ExplorationResult& a,
+                        const core::ExplorationResult& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.best, b.best) << what;
+  EXPECT_EQ(a.best_sim.peak_footprint, b.best_sim.peak_footprint) << what;
+  EXPECT_EQ(a.best_sim.avg_footprint, b.best_sim.avg_footprint) << what;
+  EXPECT_EQ(a.feasible, b.feasible) << what;
+  EXPECT_EQ(a.simulations, b.simulations) << what;
+  EXPECT_EQ(a.cache_hits, b.cache_hits) << what;
+  EXPECT_EQ(a.evals_to_best, b.evals_to_best) << what;
+  EXPECT_EQ(a.work_steps, b.work_steps) << what;
+}
+
+TEST(ApiAdapterPin, RunDesignRequestIsDesignManagerBitForBit) {
+  for (const unsigned threads : kThreadCounts) {
+    const DesignRequest req = small_drr_request(threads);
+    const DesignReply reply = run_design_request(req);
+    ASSERT_TRUE(reply.ok) << reply.error;
+    EXPECT_FALSE(reply.family);
+
+    std::vector<core::AllocTrace> traces;
+    std::string why;
+    ASSERT_TRUE(load_traces(req, &traces, &why)) << why;
+    const core::MethodologyResult design =
+        core::design_manager(traces[0], to_methodology_options(req));
+
+    const std::string what = "threads=" + std::to_string(threads);
+    ASSERT_EQ(reply.phase_signatures.size(), design.phase_configs.size())
+        << what;
+    for (std::size_t p = 0; p < design.phase_configs.size(); ++p) {
+      EXPECT_EQ(reply.phase_signatures[p],
+                alloc::signature(design.phase_configs[p]))
+          << what << " phase " << p;
+    }
+    bool feasible = true;
+    std::uint64_t best_peak = 0;
+    for (const core::ExplorationResult& r : design.phase_results) {
+      if (r.simulations + r.cache_hits == 0) continue;
+      feasible = feasible && r.feasible;
+      best_peak = std::max(best_peak, r.best_sim.peak_footprint);
+    }
+    EXPECT_EQ(reply.feasible, feasible) << what;
+    EXPECT_EQ(reply.best_peak, best_peak) << what;
+    EXPECT_EQ(reply.simulations, design.total_simulations) << what;
+    EXPECT_EQ(reply.cache_hits, design.total_cache_hits) << what;
+    EXPECT_EQ(reply.evaluations,
+              design.total_simulations + design.total_cache_hits)
+        << what;
+  }
+}
+
+TEST(ApiAdapterPin, RunDesignRequestIsDesignManagerFamilyBitForBit) {
+  for (const unsigned threads : kThreadCounts) {
+    DesignRequest req;
+    req.traces.resize(2);
+    req.traces[0].seed = 1;
+    req.traces[1].seed = 2;
+    req.max_events = 2000;
+    req.num_threads = threads;
+    req.aggregate = core::FamilyAggregate::kWeightedSum;
+    req.aggregate_set = true;
+    req.weights = {1.0, 2.0};
+
+    const DesignReply reply = run_design_request(req);
+    ASSERT_TRUE(reply.ok) << reply.error;
+    EXPECT_TRUE(reply.family);
+
+    std::vector<core::AllocTrace> traces;
+    std::string why;
+    ASSERT_TRUE(load_traces(req, &traces, &why)) << why;
+    const core::FamilyDesignResult family =
+        core::design_manager_family(traces, to_family_options(req));
+
+    const std::string what = "threads=" + std::to_string(threads);
+    ASSERT_EQ(reply.phase_signatures.size(), 1u) << what;
+    EXPECT_EQ(reply.phase_signatures[0], alloc::signature(family.best))
+        << what;
+    EXPECT_EQ(reply.feasible, family.feasible) << what;
+    EXPECT_EQ(reply.best_peak, family.search.best_sim.peak_footprint) << what;
+    EXPECT_EQ(bits(reply.aggregate_objective),
+              bits(family.aggregate_objective))
+        << what;
+    EXPECT_EQ(reply.simulations, family.search.simulations) << what;
+    EXPECT_EQ(reply.cache_hits, family.search.cache_hits) << what;
+  }
+}
+
+TEST(ApiAdapterPin, ExplorerConveniencesAreRunStrategyBitForBit) {
+  std::vector<core::AllocTrace> traces;
+  std::string why;
+  ASSERT_TRUE(load_traces(small_drr_request(1), &traces, &why)) << why;
+  const auto trace = std::make_shared<const core::AllocTrace>(traces[0]);
+
+  for (const unsigned threads : kThreadCounts) {
+    core::ExplorerOptions opts;
+    opts.num_threads = threads;
+    const std::string what = "threads=" + std::to_string(threads);
+
+    {  // explore() == run(greedy strategy)
+      core::Explorer a(trace, opts);
+      core::Explorer b(trace, opts);
+      const auto greedy = core::make_strategy(
+          *core::parse_search_spec("greedy"), core::paper_order());
+      expect_same_result(a.explore(), b.run(*greedy), what + " explore");
+    }
+    {  // exhaustive() == run(ExhaustiveSearch)
+      core::Explorer a(trace, opts);
+      core::Explorer b(trace, opts);
+      core::ExhaustiveSearch strategy(core::high_impact_trees(), 200);
+      expect_same_result(a.exhaustive(core::high_impact_trees(), 200),
+                        b.run(strategy), what + " exhaustive");
+    }
+    {  // random_search() == run(RandomSearch)
+      core::Explorer a(trace, opts);
+      core::Explorer b(trace, opts);
+      core::RandomSearch strategy(40, 7);
+      expect_same_result(a.random_search(40, 7), b.run(strategy),
+                        what + " random");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmm::api

@@ -1,0 +1,193 @@
+// The wire-framing contract (src/serve/frame.h): encoded frames decode
+// byte-exactly, byte streams may arrive in any fragmentation, and every
+// way an untrusted peer can violate the framing — bad magic, future
+// version, oversized length, corrupt checksum, truncation — poisons the
+// reader with a clear reason instead of crashing or mis-framing.  Unknown
+// frame *types* are explicitly not framing errors: they surface as frames
+// for the consumer to reject, keeping the format forward-compatible.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dmm/serve/frame.h"
+
+namespace dmm::serve {
+namespace {
+
+std::vector<std::uint8_t> wire(FrameType type, const std::string& payload) {
+  return encode_frame(type, payload);
+}
+
+void feed_all(FrameReader& reader, const std::vector<std::uint8_t>& bytes) {
+  reader.feed(bytes.data(), bytes.size());
+}
+
+/// Drives next() and requires a frame.
+Frame expect_frame(FrameReader& reader) {
+  Frame frame;
+  std::string why;
+  const FrameReader::Status status = reader.next(&frame, &why);
+  EXPECT_EQ(status, FrameReader::Status::kFrame) << why;
+  return frame;
+}
+
+/// Drives next() and requires a framing error mentioning @p reason.
+void expect_poisoned(FrameReader& reader, const std::string& reason) {
+  Frame frame;
+  std::string why;
+  ASSERT_EQ(reader.next(&frame, &why), FrameReader::Status::kError);
+  EXPECT_NE(why.find(reason), std::string::npos)
+      << "error '" << why << "' does not mention '" << reason << "'";
+  EXPECT_TRUE(reader.poisoned());
+  // Poison is sticky: the same error repeats forever.
+  std::string again;
+  EXPECT_EQ(reader.next(&frame, &again), FrameReader::Status::kError);
+  EXPECT_EQ(again, why);
+}
+
+TEST(ServeFrames, EncodeLayout) {
+  const std::vector<std::uint8_t> bytes = wire(FrameType::kRequest, "abc");
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + 3 + kFrameChecksumBytes);
+  EXPECT_EQ(std::memcmp(bytes.data(), kFrameMagic, 4), 0);
+  // Little-endian version / type / length words.
+  EXPECT_EQ(bytes[4], kFrameVersion);
+  EXPECT_EQ(bytes[8], static_cast<std::uint8_t>(FrameType::kRequest));
+  EXPECT_EQ(bytes[12], 3u);
+  EXPECT_EQ(std::memcmp(bytes.data() + 16, "abc", 3), 0);
+}
+
+TEST(ServeFrames, RoundTripAllTypesAndPayloads) {
+  for (const FrameType type :
+       {FrameType::kRequest, FrameType::kCancel, FrameType::kShutdown,
+        FrameType::kProgress, FrameType::kReply, FrameType::kError}) {
+    for (const std::string& payload :
+         {std::string(), std::string("x"), std::string("line\nline\n"),
+          std::string(1000, '\xff'), std::string("nul\0nul", 7)}) {
+      FrameReader reader;
+      feed_all(reader, wire(type, payload));
+      const Frame frame = expect_frame(reader);
+      EXPECT_EQ(frame.type, type);
+      EXPECT_EQ(frame.payload, payload);
+      EXPECT_EQ(reader.pending_bytes(), 0u);
+    }
+  }
+}
+
+TEST(ServeFrames, ByteAtATimeFeedReassembles) {
+  const std::vector<std::uint8_t> bytes = wire(FrameType::kReply, "payload");
+  FrameReader reader;
+  Frame frame;
+  std::string why;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    reader.feed(&bytes[i], 1);
+    ASSERT_EQ(reader.next(&frame, &why), FrameReader::Status::kNeedMore)
+        << "complete frame after " << i + 1 << " of " << bytes.size()
+        << " bytes";
+  }
+  reader.feed(&bytes[bytes.size() - 1], 1);
+  EXPECT_EQ(expect_frame(reader).payload, "payload");
+}
+
+TEST(ServeFrames, BackToBackFramesInOneFeed) {
+  std::vector<std::uint8_t> bytes = wire(FrameType::kProgress, "one");
+  const std::vector<std::uint8_t> second = wire(FrameType::kReply, "two");
+  bytes.insert(bytes.end(), second.begin(), second.end());
+  FrameReader reader;
+  feed_all(reader, bytes);
+  EXPECT_EQ(expect_frame(reader).payload, "one");
+  EXPECT_EQ(expect_frame(reader).payload, "two");
+  Frame frame;
+  std::string why;
+  EXPECT_EQ(reader.next(&frame, &why), FrameReader::Status::kNeedMore);
+}
+
+TEST(ServeFrames, TruncatedFrameIsPendingNotError) {
+  // Truncation is only detectable at EOF — the reader reports kNeedMore
+  // and the owner checks pending_bytes() when the peer hangs up.
+  const std::vector<std::uint8_t> bytes = wire(FrameType::kRequest, "body");
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size() - 5);
+  Frame frame;
+  std::string why;
+  EXPECT_EQ(reader.next(&frame, &why), FrameReader::Status::kNeedMore);
+  EXPECT_GT(reader.pending_bytes(), 0u);
+  EXPECT_FALSE(reader.poisoned());
+}
+
+TEST(ServeFrames, BadMagicPoisons) {
+  std::vector<std::uint8_t> bytes = wire(FrameType::kRequest, "x");
+  bytes[0] = 'X';
+  FrameReader reader;
+  feed_all(reader, bytes);
+  expect_poisoned(reader, "magic");
+}
+
+TEST(ServeFrames, FutureVersionPoisons) {
+  std::vector<std::uint8_t> bytes = wire(FrameType::kRequest, "x");
+  bytes[4] = static_cast<std::uint8_t>(kFrameVersion + 1);
+  FrameReader reader;
+  feed_all(reader, bytes);
+  expect_poisoned(reader, "version");
+}
+
+TEST(ServeFrames, OversizedLengthPoisonsBeforeBuffering) {
+  // A crafted length field past kMaxFramePayload must be rejected from the
+  // header alone — long before that many bytes could ever arrive.
+  std::vector<std::uint8_t> bytes = wire(FrameType::kRequest, "x");
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(&bytes[12], &huge, sizeof huge);
+  FrameReader reader;
+  reader.feed(bytes.data(), kFrameHeaderBytes);  // header only
+  expect_poisoned(reader, "oversized");
+}
+
+TEST(ServeFrames, CorruptChecksumPoisons) {
+  std::vector<std::uint8_t> bytes = wire(FrameType::kReply, "payload");
+  bytes.back() ^= 0x01;
+  FrameReader reader;
+  feed_all(reader, bytes);
+  expect_poisoned(reader, "checksum");
+}
+
+TEST(ServeFrames, CorruptPayloadFailsChecksum) {
+  std::vector<std::uint8_t> bytes = wire(FrameType::kReply, "payload");
+  bytes[kFrameHeaderBytes] ^= 0x01;  // flip a payload bit
+  FrameReader reader;
+  feed_all(reader, bytes);
+  expect_poisoned(reader, "checksum");
+}
+
+TEST(ServeFrames, GarbageStreamPoisons) {
+  FrameReader reader;
+  std::vector<std::uint8_t> garbage(64, 0xAB);
+  feed_all(reader, garbage);
+  Frame frame;
+  std::string why;
+  EXPECT_EQ(reader.next(&frame, &why), FrameReader::Status::kError);
+  EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(ServeFrames, UnknownTypeIsNotAFramingError) {
+  // Forward compatibility: the frame layer surfaces unknown types; the
+  // consumer decides (the server answers with a per-request error reply).
+  FrameReader reader;
+  feed_all(reader, wire(static_cast<FrameType>(99), "future"));
+  const Frame frame = expect_frame(reader);
+  EXPECT_EQ(static_cast<std::uint32_t>(frame.type), 99u);
+  EXPECT_EQ(frame.payload, "future");
+  EXPECT_FALSE(reader.poisoned());
+}
+
+TEST(ServeFrames, MaxPayloadRoundTrips) {
+  const std::string payload(kMaxFramePayload, 'z');
+  FrameReader reader;
+  feed_all(reader, wire(FrameType::kReply, payload));
+  EXPECT_EQ(expect_frame(reader).payload, payload);
+}
+
+}  // namespace
+}  // namespace dmm::serve
