@@ -20,27 +20,51 @@
 //                       (anything else) written by trace_tool; --aggregate
 //                       max|wsum picks the fold.  Family mode replaces the
 //                       single-trace walk below.
+//   --trace FILE        explore a captured trace instead of the recorded
+//                       workload; .dmmt stores (trace_tool convert) are
+//                       detected and memory-mapped.
+//   --sample N          search on a stratified ~N-object sample of the
+//                       trace (see trace_sample.h), then re-score the
+//                       winning vector on the FULL trace — streamed from
+//                       the .dmmt mapping when one was given — and report
+//                       the sample's peak estimate against the truth.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "dmm/alloc/custom_manager.h"
 #include "dmm/api/design_api.h"
 #include "dmm/core/explorer.h"
 #include "dmm/core/methodology.h"
 #include "dmm/managers/registry.h"
+#include "dmm/trace/trace_sample.h"
+#include "dmm/trace/trace_store.h"
 #include "dmm/workloads/workload.h"
+
+#include "example_util.h"
 
 namespace {
 
 int usage(const char* prog, const dmm::api::RequestCli& cli) {
   std::fprintf(stderr,
-               "usage: %s %s\n"
+               "usage: %s %s [--sample N]\n"
                "  --family elements: a DRR traffic seed (digits only) or a "
                "trace file path;\n  at least two traces make a family\n",
                prog, cli.flags_help().c_str());
   return 2;
+}
+
+/// Scores @p config by a full replay of @p source (a fresh arena each
+/// time, so runs are isolated and deterministic).
+dmm::core::SimResult score_on(const dmm::core::TraceSource& source,
+                              const dmm::alloc::DmmConfig& config) {
+  return dmm::core::simulate_fresh(
+      source, [&config](dmm::sysmem::SystemArena& arena) {
+        return std::make_unique<dmm::alloc::CustomManager>(arena, config);
+      });
 }
 
 }  // namespace
@@ -50,12 +74,28 @@ int main(int argc, char** argv) {
 
   api::RequestCli cli("drr");
   cli.request.num_threads = 0;  // one eval worker per hardware thread
+  std::size_t sample_budget = 0;
+  bool sample_set = false;
   for (int i = 1; i < argc; ++i) {
     const api::RequestCli::Arg arg = cli.consume(argc, argv, &i);
     if (arg == api::RequestCli::Arg::kConsumed) continue;
     if (arg == api::RequestCli::Arg::kError) {
       std::fprintf(stderr, "%s: %s\n", argv[0], cli.error().c_str());
       return 2;
+    }
+    std::string value;
+    if (std::strncmp(argv[i], "--sample", 8) == 0) {
+      if (argv[i][8] == '=') {
+        value = argv[i] + 9;
+      } else if (argv[i][8] == '\0' && i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return usage(argv[0], cli);
+      }
+      sample_budget = examples::parse_unsigned_or_die(
+          argv[0], "--sample", value);
+      sample_set = true;
+      continue;
     }
     return usage(argv[0], cli);
   }
@@ -70,6 +110,12 @@ int main(int argc, char** argv) {
   std::string why;
   if (!api::load_traces(cli.request, &traces, &why)) {
     std::fprintf(stderr, "%s: %s\n", argv[0], why.c_str());
+    return 2;
+  }
+
+  if (sample_set && traces.size() >= 2) {
+    std::fprintf(stderr, "%s: --sample applies to single-trace runs\n",
+                 argv[0]);
     return 2;
   }
 
@@ -125,6 +171,71 @@ int main(int argc, char** argv) {
   std::printf("the blocks \"vary greatly in size\" (packets), so expect the "
               "paper's decisions.\n");
 
+  if (sample_set) {
+    // --- sampled search: explore a stratified subset, verify on the full
+    // trace.  The point of the error bound is that it is computed BEFORE
+    // the verification replay — the replay then shows how honest it was.
+    trace::SampleOptions sopts;
+    sopts.budget = sample_budget;
+    const trace::SampleResult sample = trace::sample_trace(trace, sopts);
+    std::printf("\n== stratified sample (--sample %zu) ==\n", sample_budget);
+    std::printf("kept %llu of %llu objects across %zu strata -> %llu "
+                "events\n",
+                static_cast<unsigned long long>(sample.sampled_objects),
+                static_cast<unsigned long long>(stats.allocs),
+                sample.strata.size(),
+                static_cast<unsigned long long>(sample.trace.size()));
+    std::printf("estimated full-trace peak %.0f B (+/- %.0f B, "
+                "2-sigma %.1f%%)\n",
+                sample.estimated_peak_bytes, 2.0 * sample.peak_stderr_bytes,
+                100.0 * sample.peak_relative_error_bound);
+
+    core::ExplorerOptions opts = api::to_explorer_options(cli.request);
+    opts.cache_file = cli.request.cache_file;
+    core::Explorer explorer(sample.trace, opts);
+    const core::ExplorationResult result = explorer.run();
+    std::printf("\nsearch on the sample: %llu replays of %llu events "
+                "each\n",
+                static_cast<unsigned long long>(result.simulations),
+                static_cast<unsigned long long>(sample.trace.size()));
+    std::printf("\nsampled decision vector:\n%s\n",
+                alloc::describe(result.best).c_str());
+
+    // Re-score the winner on the FULL trace.  When the input was a .dmmt
+    // store, stream straight off the mapping — the whole point of the
+    // columnar format is that this replay needs O(block) memory, not
+    // O(trace).
+    const api::TraceRef& ref = cli.request.traces[0];
+    core::SimResult truth;
+    if (ref.kind == api::TraceRef::Kind::kFile &&
+        trace::is_trace_file(ref.path)) {
+      const auto mapped = trace::MappedTrace::open(ref.path, &why);
+      if (mapped == nullptr) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], why.c_str());
+        return 1;
+      }
+      truth = score_on(*mapped, result.best);
+      std::printf("full-trace verification streamed from %s (cursor "
+                  "buffer %zu B)\n",
+                  ref.path.c_str(), mapped->cursor_buffer_bytes());
+    } else {
+      truth = score_on(trace, result.best);
+    }
+    const double actual = static_cast<double>(truth.peak_live_bytes);
+    const double est_err =
+        actual > 0.0
+            ? (sample.estimated_peak_bytes - actual) / actual
+            : 0.0;
+    std::printf("full-trace replay of the sampled vector: peak footprint "
+                "%zu B, peak live %zu B\n",
+                truth.peak_footprint, truth.peak_live_bytes);
+    std::printf("sample peak estimate was off by %+.2f%% (bound promised "
+                "%.1f%%)\n",
+                100.0 * est_err,
+                100.0 * sample.peak_relative_error_bound);
+    return truth.failed_allocs == 0 ? 0 : 1;
+  }
+
   std::printf("\n== ordered traversal (Sec. 4.2) ==\n");
   // Candidate replays fan out across a worker per hardware thread; the
   // result is bit-identical to a serial run (num_threads = 1).  The
@@ -164,6 +275,24 @@ int main(int argc, char** argv) {
               explorer.engine().name().c_str());
   std::printf("\nfinal decision vector:\n%s\n",
               alloc::describe(result.best).c_str());
+
+  if (cli.request.traces[0].kind != api::TraceRef::Kind::kWorkload) {
+    // A file trace (--trace) has no workload to re-run on fresh seeds, so
+    // the Table-1 comparison replays the captured trace itself.
+    std::printf("== comparison on the captured trace ==\n");
+    for (const char* name : {"kingsley", "lea", "custom"}) {
+      sysmem::SystemArena arena;
+      core::SimResult r;
+      if (std::string(name) == "custom") {
+        r = score_on(trace, result.best);
+      } else {
+        auto mgr = managers::make_manager(name, arena);
+        r = core::simulate(trace, *mgr);
+      }
+      std::printf("  %-10s peak %10zu B\n", name, r.peak_footprint);
+    }
+    return 0;
+  }
 
   std::printf("== comparison on 5 fresh traces (Table 1 style) ==\n");
   // Persistence belongs to the run, not to each phase: the methodology

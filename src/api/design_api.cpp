@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "dmm/alloc/config.h"
+#include "dmm/trace/trace_store.h"
 #include "dmm/workloads/workload.h"
 
 namespace dmm::api {
@@ -221,6 +222,17 @@ bool load_traces(const DesignRequest& req, std::vector<core::AllocTrace>* out,
         return false;
       }
       traces.push_back(workloads::record_trace(*found, ref.seed));
+    } else if (trace::is_trace_file(ref.path)) {
+      // Columnar .dmmt store: open (header + checksum validation) and
+      // materialize.  Daemon scoring replays traces many times across
+      // candidates, so a one-time decode beats per-pass block decoding.
+      std::string reason;
+      const auto mapped = trace::MappedTrace::open(ref.path, &reason);
+      if (mapped == nullptr) {
+        *why = "trace '" + ref.path + "' rejected: " + reason;
+        return false;
+      }
+      traces.push_back(mapped->materialize());
     } else {
       core::AllocTrace trace = core::AllocTrace::load(ref.path);
       if (trace.events().empty()) {
@@ -643,6 +655,17 @@ RequestCli::Arg RequestCli::consume(int argc, char** argv, int* i) {
     return Arg::kConsumed;
   }
   if (!allow_trace_flags) return Arg::kNotMine;
+  if (match_flag(argc, argv, i, "--trace", &value)) {
+    if (value.empty()) {
+      error_ = "--trace needs a file path";
+      return Arg::kError;
+    }
+    TraceRef ref;
+    ref.kind = TraceRef::Kind::kFile;
+    ref.path = value;
+    request.traces.push_back(std::move(ref));
+    return Arg::kConsumed;
+  }
   if (match_flag(argc, argv, i, "--family", &value)) {
     family_list_ = value;
     return Arg::kConsumed;
@@ -753,7 +776,7 @@ std::string RequestCli::flags_help() const {
       "[--search SPEC] [--cache-file PATH] [--threads N] [--budget N]";
   if (allow_trace_flags) {
     help += " [--workload NAME] [--seed N] [--max-events N] "
-            "[--family T1,T2,...] [--aggregate max|wsum]";
+            "[--trace FILE] [--family T1,T2,...] [--aggregate max|wsum]";
   }
   return help;
 }

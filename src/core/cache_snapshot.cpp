@@ -174,15 +174,6 @@ bool read_file(const std::string& path, std::vector<std::uint8_t>* out) {
 
 }  // namespace
 
-std::uint64_t snapshot_checksum(const std::uint8_t* data, std::size_t n) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= data[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
 SnapshotSaveResult SharedScoreCache::save(const std::string& path) const {
   SnapshotSaveResult result;
   std::vector<std::uint8_t> buf;

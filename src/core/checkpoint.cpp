@@ -124,19 +124,24 @@ std::uint64_t CheckpointStore::divergence_event(const TraceEntry& entry,
 }
 
 void CheckpointStore::prepare_trace(std::uint64_t trace_fingerprint,
-                                    const AllocTrace& trace) {
+                                    const TraceSource& trace) {
   const std::lock_guard<std::mutex> lock(m_);
   TraceEntry& entry = traces_[trace_fingerprint];
   if (entry.prepared) return;
   entry.prepared = true;
-  const auto& events = trace.events();
-  entry.total_events = events.size();
-  for (std::uint64_t i = 0; i < events.size(); ++i) {
-    const AllocEvent& e = events[i];
-    if (e.op != AllocEvent::Op::kAlloc) continue;
-    // allocate() floors zero-byte requests to one byte before routing.
-    const std::uint64_t size = e.size == 0 ? 1 : e.size;
-    entry.first_alloc_of_size.emplace(size, i);  // keeps the first event
+  entry.total_events = trace.event_count();
+  const std::unique_ptr<TraceCursor> cur = trace.cursor();
+  std::uint64_t i = 0;
+  const AllocEvent* run = nullptr;
+  std::size_t n = 0;
+  while ((n = cur->next(&run)) != 0) {
+    for (std::size_t k = 0; k < n; ++k, ++i) {
+      const AllocEvent& e = run[k];
+      if (e.op != AllocEvent::Op::kAlloc) continue;
+      // allocate() floors zero-byte requests to one byte before routing.
+      const std::uint64_t size = e.size == 0 ? 1 : e.size;
+      entry.first_alloc_of_size.emplace(size, i);  // keeps the first event
+    }
   }
 }
 
@@ -244,7 +249,8 @@ namespace {
 
 /// Cold replay that instruments the run (consult sink + checkpoint
 /// captures) and publishes the resulting lineage.
-EvalOutcome replay_cold_publishing(const AllocTrace& trace, const EvalJob& job,
+EvalOutcome replay_cold_publishing(const TraceSource& trace,
+                                   const EvalJob& job,
                                    CheckpointStore& store,
                                    std::uint64_t trace_fingerprint) {
   EvalOutcome out;
@@ -281,7 +287,7 @@ EvalOutcome replay_cold_publishing(const AllocTrace& trace, const EvalJob& job,
 
 /// Resume path: fresh arena + candidate manager, both rewound to the
 /// checkpoint image, then the trace suffix replays under candidate knobs.
-EvalOutcome replay_resumed(const AllocTrace& trace, const EvalJob& job,
+EvalOutcome replay_resumed(const TraceSource& trace, const EvalJob& job,
                            const Checkpoint& cp) {
   sysmem::SystemArena arena;
   alloc::CustomManager mgr(arena, job.cfg, "candidate",
@@ -302,14 +308,14 @@ EvalOutcome replay_resumed(const AllocTrace& trace, const EvalJob& job,
                           : 0;
   out.sim = simulate(trace, mgr, opts);
   out.work_steps = mgr.work_steps();
-  out.replayed_events = trace.events().size() - cp.event;
+  out.replayed_events = trace.event_count() - cp.event;
   out.resumed = true;
   return out;
 }
 
 }  // namespace
 
-EvalOutcome score_candidate_incremental(const AllocTrace& trace,
+EvalOutcome score_candidate_incremental(const TraceSource& trace,
                                         const EvalJob& job,
                                         CheckpointStore& store,
                                         std::uint64_t trace_fingerprint,

@@ -242,7 +242,7 @@ EvalOutcome aggregate_family(std::uint64_t tag,
   return agg;
 }
 
-EvalOutcome score_candidate(const AllocTrace& trace, const EvalJob& job) {
+EvalOutcome score_candidate(const TraceSource& trace, const EvalJob& job) {
   EvalOutcome out;
   out.tag = job.tag;
   sysmem::SystemArena arena;
@@ -260,7 +260,7 @@ EvalOutcome score_candidate(const AllocTrace& trace, const EvalJob& job) {
 // EvalEngine streaming session
 // ---------------------------------------------------------------------------
 
-std::vector<EvalOutcome> EvalEngine::evaluate(const AllocTrace& trace,
+std::vector<EvalOutcome> EvalEngine::evaluate(const TraceSource& trace,
                                               const std::vector<EvalJob>& jobs,
                                               CandidateCache* cache) {
   stream_begin(trace, cache);
@@ -268,7 +268,8 @@ std::vector<EvalOutcome> EvalEngine::evaluate(const AllocTrace& trace,
   return stream_drain();
 }
 
-void EvalEngine::stream_begin(const AllocTrace& trace, CandidateCache* cache) {
+void EvalEngine::stream_begin(const TraceSource& trace,
+                              CandidateCache* cache) {
   assert(!streaming_ && "one streaming session at a time per engine");
   streaming_ = true;
   stream_trace_ = &trace;

@@ -10,7 +10,7 @@ using alloc::DmmConfig;
 Explorer::Explorer(AllocTrace trace, ExplorerOptions opts)
     : Explorer(std::make_shared<const AllocTrace>(std::move(trace)), opts) {}
 
-Explorer::Explorer(std::shared_ptr<const AllocTrace> trace,
+Explorer::Explorer(std::shared_ptr<const TraceSource> trace,
                    ExplorerOptions opts)
     : trace_(std::move(trace)),
       trace_fingerprint_(trace_->fingerprint()),

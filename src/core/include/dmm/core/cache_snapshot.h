@@ -55,8 +55,15 @@ inline constexpr std::size_t kSnapshotChecksumBytes = 8;
 /// craft snapshots that are corrupt in one specific way (e.g. a version
 /// bump with a *valid* checksum must still be rejected by the version
 /// check, not the checksum).
-[[nodiscard]] std::uint64_t snapshot_checksum(const std::uint8_t* data,
-                                              std::size_t n);
+[[nodiscard]] inline std::uint64_t snapshot_checksum(const std::uint8_t* data,
+                                                     std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 /// What SharedScoreCache::load made of a snapshot file.  `loaded` is false
 /// whenever the cache started cold; `reason` says why (missing file, bad

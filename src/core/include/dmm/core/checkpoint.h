@@ -96,7 +96,8 @@ class CheckpointStore {
 
   /// Builds the per-trace divergence tables on first touch (one linear
   /// scan).  Must be called before plan()/publish() for the trace.
-  void prepare_trace(std::uint64_t trace_fingerprint, const AllocTrace& trace);
+  void prepare_trace(std::uint64_t trace_fingerprint,
+                     const TraceSource& trace);
 
   /// Picks the cheapest provably-safe evaluation for @p canon.
   [[nodiscard]] Plan plan(std::uint64_t trace_fingerprint,
@@ -155,7 +156,7 @@ class CheckpointStore {
 /// bit; the cold result is returned and mismatches are counted on the
 /// store.  Safe from any thread.
 [[nodiscard]] EvalOutcome score_candidate_incremental(
-    const AllocTrace& trace, const EvalJob& job, CheckpointStore& store,
+    const TraceSource& trace, const EvalJob& job, CheckpointStore& store,
     std::uint64_t trace_fingerprint, bool verify);
 
 }  // namespace dmm::core

@@ -286,7 +286,7 @@ class SharedScoreCache {
 
 /// Replays @p trace through a manager built from @p job.cfg — one isolated
 /// arena per call, so it is safe from any thread.
-[[nodiscard]] EvalOutcome score_candidate(const AllocTrace& trace,
+[[nodiscard]] EvalOutcome score_candidate(const TraceSource& trace,
                                           const EvalJob& job);
 
 // ---------------------------------------------------------------------------
@@ -312,11 +312,11 @@ enum class FamilyAggregate : std::uint8_t {
 };
 
 /// One trace of a family evaluation.  The fingerprint is the member's
-/// AllocTrace::fingerprint, cached by the caller (it keys the per-trace
+/// TraceSource::fingerprint, cached by the caller (it keys the per-trace
 /// score-cache entries the member's replays share with single-trace
 /// searches over the same trace).
 struct FamilyEvalMember {
-  std::shared_ptr<const AllocTrace> trace;
+  std::shared_ptr<const TraceSource> trace;
   std::uint64_t fingerprint = 0;
   double weight = 1.0;  ///< kWeightedSum only
 };
@@ -375,12 +375,13 @@ class EvalEngine {
   /// per-search ScoreCache, a SharedScoreCache::Session, or null (every
   /// job then replays, matching the pre-engine Explorer).
   [[nodiscard]] std::vector<EvalOutcome> evaluate(
-      const AllocTrace& trace, const std::vector<EvalJob>& jobs,
+      const TraceSource& trace, const std::vector<EvalJob>& jobs,
       CandidateCache* cache = nullptr);
 
   /// Opens a streaming session.  One session at a time per engine; the
   /// trace and cache must outlive it.
-  void stream_begin(const AllocTrace& trace, CandidateCache* cache = nullptr);
+  void stream_begin(const TraceSource& trace,
+                    CandidateCache* cache = nullptr);
   /// Submits one job to the open session (cache lookup + dedup happen now,
   /// misses start evaluating immediately on pooled engines).
   void stream_submit(const EvalJob& job);
@@ -437,7 +438,7 @@ class EvalEngine {
   std::unordered_map<alloc::DmmConfig, std::size_t, alloc::DmmConfigHash>
       pending_canon_;
   std::size_t emitted_ = 0;
-  const AllocTrace* stream_trace_ = nullptr;
+  const TraceSource* stream_trace_ = nullptr;
   CandidateCache* stream_cache_ = nullptr;
   std::uint64_t stream_trace_fp_ = 0;
   bool streaming_ = false;

@@ -33,8 +33,9 @@ namespace dmm::core {
 class Explorer {
  public:
   explicit Explorer(AllocTrace trace, ExplorerOptions opts = {});
-  /// Shares an already-recorded trace with other explorers / threads.
-  explicit Explorer(std::shared_ptr<const AllocTrace> trace,
+  /// Shares an already-recorded trace — or any other TraceSource, e.g. a
+  /// MappedTrace streaming a .dmmt file — with other explorers / threads.
+  explicit Explorer(std::shared_ptr<const TraceSource> trace,
                     ExplorerOptions opts = {});
   /// Saves the shared score cache back to ExplorerOptions::cache_file
   /// (when one was configured) — see the option's doc for the semantics.
@@ -88,8 +89,9 @@ class Explorer {
     return trace_fingerprint_;
   }
 
-  [[nodiscard]] const AllocTrace& trace() const { return *trace_; }
-  [[nodiscard]] const std::shared_ptr<const AllocTrace>& shared_trace() const {
+  [[nodiscard]] const TraceSource& trace() const { return *trace_; }
+  [[nodiscard]] const std::shared_ptr<const TraceSource>& shared_trace()
+      const {
     return trace_;
   }
   /// The evaluation backend this explorer submits batches to.
@@ -99,7 +101,7 @@ class Explorer {
   /// The destructor's (and the failed-search path's) cache_file save.
   void save_cache_file() const;
 
-  std::shared_ptr<const AllocTrace> trace_;
+  std::shared_ptr<const TraceSource> trace_;
   std::uint64_t trace_fingerprint_ = 0;
   ExplorerOptions opts_;
   std::unique_ptr<EvalEngine> engine_;

@@ -311,17 +311,17 @@ struct BestTracker {
 /// but never a different result.
 class SearchContext {
  public:
-  SearchContext(const AllocTrace& trace, std::uint64_t trace_fingerprint,
+  SearchContext(const TraceSource& trace, std::uint64_t trace_fingerprint,
                 const ExplorerOptions& opts, EvalEngine& engine);
   /// Family mode: @p family must be non-empty; member fingerprints are the
-  /// members' AllocTrace::fingerprint values.
+  /// members' TraceSource::fingerprint values.
   SearchContext(std::vector<FamilyEvalMember> family,
                 FamilyAggregate aggregate, const ExplorerOptions& opts,
                 EvalEngine& engine);
 
   [[nodiscard]] const ExplorerOptions& options() const { return opts_; }
   /// Single-trace mode: the trace; family mode: the first member.
-  [[nodiscard]] const AllocTrace& trace() const {
+  [[nodiscard]] const TraceSource& trace() const {
     return trace_ != nullptr ? *trace_ : *family_[0].trace;
   }
 
@@ -394,7 +394,7 @@ class SearchContext {
   /// simulations vs cache_hits split plus the incremental-replay counters.
   void account(const EvalOutcome& out);
 
-  const AllocTrace* trace_ = nullptr;  ///< single-trace mode; else family_
+  const TraceSource* trace_ = nullptr;  ///< single-trace mode; else family_
   std::vector<FamilyEvalMember> family_;
   FamilyAggregate aggregate_ = FamilyAggregate::kMaxPeak;
   const ExplorerOptions& opts_;

@@ -108,18 +108,18 @@ struct SimReplayOptions {
 /// With opts.resume, `SimResult.events` still reports the FULL trace event
 /// count (the result describes the whole logical replay); the caller knows
 /// how many events were actually replayed from the resume point.
-SimResult simulate(const AllocTrace& trace, alloc::Allocator& manager,
+SimResult simulate(const TraceSource& trace, alloc::Allocator& manager,
                    const SimReplayOptions& opts);
 
 /// Classic entry point, forwards to the options overload.
-SimResult simulate(const AllocTrace& trace, alloc::Allocator& manager,
+SimResult simulate(const TraceSource& trace, alloc::Allocator& manager,
                    std::vector<TimelinePoint>* timeline = nullptr,
                    std::uint64_t timeline_stride = 256);
 
 /// Convenience: build a fresh manager via @p factory, replay, tear down.
 /// The arena is local, so the result is isolated and deterministic.
 SimResult simulate_fresh(
-    const AllocTrace& trace,
+    const TraceSource& trace,
     const std::function<std::unique_ptr<alloc::Allocator>(
         sysmem::SystemArena&)>& factory,
     std::vector<TimelinePoint>* timeline = nullptr,

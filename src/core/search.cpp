@@ -112,7 +112,7 @@ SearchContext::CacheBinding::CacheBinding(const ExplorerOptions& opts,
   }
 }
 
-SearchContext::SearchContext(const AllocTrace& trace,
+SearchContext::SearchContext(const TraceSource& trace,
                              std::uint64_t trace_fingerprint,
                              const ExplorerOptions& opts, EvalEngine& engine)
     : trace_(&trace),

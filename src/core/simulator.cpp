@@ -89,27 +89,20 @@ class LiveMap {
 
 }  // namespace
 
-SimResult simulate(const AllocTrace& trace, alloc::Allocator& manager,
+SimResult simulate(const TraceSource& trace, alloc::Allocator& manager,
                    const SimReplayOptions& opts) {
   SimResult r;
   const sysmem::SystemArena& arena = manager.arena();
-  const auto& events = trace.events();
-  const std::uint64_t total = events.size();
+  const std::uint64_t total = trace.event_count();
 
-  // Dense-id sizing pre-pass: one linear scan is far cheaper than the
-  // replay it sizes.  "Dense" = the id space is within 2x of the alloc
+  // Dense-id sizing pre-pass: in-memory traces answer with one linear
+  // scan (far cheaper than the replay it sizes), mapped traces straight
+  // from their header.  "Dense" = the id space is within 2x of the alloc
   // count, so the flat vector wastes at most ~half its slots.
-  std::uint32_t max_id = 0;
-  std::uint64_t alloc_events = 0;
-  for (const AllocEvent& e : events) {
-    if (e.op == AllocEvent::Op::kAlloc) {
-      ++alloc_events;
-      if (e.id > max_id) max_id = e.id;
-    }
-  }
-  const bool dense =
-      static_cast<std::uint64_t>(max_id) + 1 <= 2 * alloc_events + 16;
-  LiveMap live(dense, max_id);
+  const TraceIdBounds bounds = trace.id_bounds();
+  const bool dense = static_cast<std::uint64_t>(bounds.max_id) + 1 <=
+                     2 * bounds.allocs + 16;
+  LiveMap live(dense, bounds.max_id);
 
   double footprint_sum = 0.0;
   std::size_t live_bytes = 0;
@@ -149,9 +142,28 @@ SimResult simulate(const AllocTrace& trace, alloc::Allocator& manager,
     opts.capture(p);
   };
 
+  // The replay walks the source through a block cursor: in-memory traces
+  // hand back their whole vector as one run, mapped traces one decoded
+  // block at a time — so peak replay memory stays O(block), independent
+  // of trace length.
+  std::unique_ptr<TraceCursor> cur = trace.cursor();
+  if (start != 0) cur->seek(start);
+
   const auto t0 = std::chrono::steady_clock::now();
-  for (std::uint64_t i = start; i < total; ++i) {
-    const AllocEvent& e = events[i];
+  std::uint64_t remaining = total - start;
+  const AllocEvent* run = nullptr;
+  std::size_t run_len = 0;
+  while (remaining > 0) {
+    if (run_len == 0) {
+      run_len = cur->next(&run);
+      // A short source never happens when the cursor honours
+      // event_count(); the guard keeps corruption from looping forever.
+      if (run_len == 0) break;
+      if (run_len > remaining) run_len = static_cast<std::size_t>(remaining);
+    }
+    const AllocEvent& e = *run++;
+    --run_len;
+    --remaining;
     if (e.phase != current_phase) {
       // Phase boundary: the checkpoint represents the state *before* the
       // new phase's first event, still under the old phase.
@@ -220,7 +232,7 @@ SimResult simulate(const AllocTrace& trace, alloc::Allocator& manager,
   return r;
 }
 
-SimResult simulate(const AllocTrace& trace, alloc::Allocator& manager,
+SimResult simulate(const TraceSource& trace, alloc::Allocator& manager,
                    std::vector<TimelinePoint>* timeline,
                    std::uint64_t timeline_stride) {
   SimReplayOptions opts;
@@ -230,7 +242,7 @@ SimResult simulate(const AllocTrace& trace, alloc::Allocator& manager,
 }
 
 SimResult simulate_fresh(
-    const AllocTrace& trace,
+    const TraceSource& trace,
     const std::function<std::unique_ptr<alloc::Allocator>(
         sysmem::SystemArena&)>& factory,
     std::vector<TimelinePoint>* timeline, std::uint64_t timeline_stride) {

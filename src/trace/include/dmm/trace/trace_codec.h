@@ -1,0 +1,64 @@
+#ifndef DMM_TRACE_TRACE_CODEC_H
+#define DMM_TRACE_TRACE_CODEC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dmm/core/trace.h"
+
+namespace dmm::trace {
+
+/// Columnar event-block codec for the DMMT trace format (trace_store.h).
+///
+/// A block's payload holds the same events column by column instead of
+/// record by record, because each column is individually tame:
+///
+///   ops     1 bit/event (bitmap; 1 = free)
+///   ids     zigzag varint deltas — workload traces number objects almost
+///           sequentially, so deltas hover near +-1
+///   sizes   zigzag varint deltas between consecutive *alloc* events only
+///           (frees carry size 0 by construction and encode nothing)
+///   phases  run-length encoded (run length, zigzag phase delta) — phases
+///           change a handful of times per million events
+///
+/// Every block is self-contained (deltas restart from 0), so a cursor can
+/// decode any block straight off the index without touching its
+/// predecessors.  Decoding is fully bounds-checked: a payload that runs
+/// short, overruns, or disagrees with the declared event count is rejected
+/// (decode_block returns false) rather than trusted.
+
+/// Appends @p v LEB128-style (7 bits per byte, high bit = continue).
+void put_varint(std::vector<std::uint8_t>* out, std::uint64_t v);
+
+/// Reads one varint from [*p, end); advances *p.  False on truncation or
+/// a value wider than 64 bits.
+[[nodiscard]] bool get_varint(const std::uint8_t** p, const std::uint8_t* end,
+                              std::uint64_t* v);
+
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Encodes @p n events into @p payload (cleared first).  Free events are
+/// encoded as size 0 regardless of their in-memory size field; writers
+/// normalize before fingerprinting so file identity matches the decoded
+/// stream (see TraceWriter::add).
+void encode_block(const core::AllocEvent* events, std::size_t n,
+                  std::vector<std::uint8_t>* payload);
+
+/// Decodes exactly @p n events from @p payload into @p out (capacity >= n).
+/// False if the payload is malformed: truncated columns, varint overruns,
+/// trailing bytes, or field values wider than the event fields.
+[[nodiscard]] bool decode_block(const std::uint8_t* payload,
+                                std::size_t payload_bytes, std::size_t n,
+                                core::AllocEvent* out);
+
+}  // namespace dmm::trace
+
+#endif  // DMM_TRACE_TRACE_CODEC_H

@@ -1,0 +1,132 @@
+#include "dmm/trace/trace_codec.h"
+
+#include <limits>
+
+namespace dmm::trace {
+
+using core::AllocEvent;
+
+void put_varint(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  while (v >= 0x80u) {
+    out->push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(v));
+}
+
+bool get_varint(const std::uint8_t** p, const std::uint8_t* end,
+                std::uint64_t* v) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  const std::uint8_t* q = *p;
+  while (q != end) {
+    const std::uint8_t byte = *q++;
+    if (shift == 63 && (byte & 0x7eu) != 0) return false;  // > 64 bits
+    if (shift > 63) return false;
+    value |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      *p = q;
+      *v = value;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // truncated
+}
+
+void encode_block(const AllocEvent* events, std::size_t n,
+                  std::vector<std::uint8_t>* payload) {
+  payload->clear();
+  // Column 1: op bitmap (bit set = free), packed little-endian per byte.
+  payload->resize((n + 7) / 8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (events[i].op == AllocEvent::Op::kFree) {
+      (*payload)[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+    }
+  }
+  // Column 2: id deltas.
+  std::int64_t prev_id = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t id = events[i].id;
+    put_varint(payload, zigzag_encode(id - prev_id));
+    prev_id = id;
+  }
+  // Column 3: size deltas, alloc events only.
+  std::int64_t prev_size = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (events[i].op != AllocEvent::Op::kAlloc) continue;
+    const std::int64_t size = events[i].size;
+    put_varint(payload, zigzag_encode(size - prev_size));
+    prev_size = size;
+  }
+  // Column 4: phase runs (length, zigzag delta from the previous run).
+  std::size_t i = 0;
+  std::int64_t prev_phase = 0;
+  while (i < n) {
+    const std::uint16_t phase = events[i].phase;
+    std::size_t j = i + 1;
+    while (j < n && events[j].phase == phase) ++j;
+    put_varint(payload, j - i);
+    put_varint(payload, zigzag_encode(phase - prev_phase));
+    prev_phase = phase;
+    i = j;
+  }
+}
+
+bool decode_block(const std::uint8_t* payload, std::size_t payload_bytes,
+                  std::size_t n, AllocEvent* out) {
+  const std::uint8_t* p = payload;
+  const std::uint8_t* const end = payload + payload_bytes;
+  const std::size_t bitmap_bytes = (n + 7) / 8;
+  if (static_cast<std::size_t>(end - p) < bitmap_bytes) return false;
+  const std::uint8_t* const bitmap = p;
+  p += bitmap_bytes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool is_free = (bitmap[i / 8] >> (i % 8)) & 1u;
+    out[i].op = is_free ? AllocEvent::Op::kFree : AllocEvent::Op::kAlloc;
+  }
+  std::int64_t prev_id = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t raw = 0;
+    if (!get_varint(&p, end, &raw)) return false;
+    const std::int64_t id = prev_id + zigzag_decode(raw);
+    if (id < 0 || id > std::numeric_limits<std::uint32_t>::max()) return false;
+    out[i].id = static_cast<std::uint32_t>(id);
+    prev_id = id;
+  }
+  std::int64_t prev_size = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out[i].op != AllocEvent::Op::kAlloc) {
+      out[i].size = 0;
+      continue;
+    }
+    std::uint64_t raw = 0;
+    if (!get_varint(&p, end, &raw)) return false;
+    const std::int64_t size = prev_size + zigzag_decode(raw);
+    if (size < 0 || size > std::numeric_limits<std::uint32_t>::max()) {
+      return false;
+    }
+    out[i].size = static_cast<std::uint32_t>(size);
+    prev_size = size;
+  }
+  std::size_t i = 0;
+  std::int64_t prev_phase = 0;
+  while (i < n) {
+    std::uint64_t run = 0;
+    std::uint64_t raw = 0;
+    if (!get_varint(&p, end, &run)) return false;
+    if (!get_varint(&p, end, &raw)) return false;
+    if (run == 0 || run > n - i) return false;
+    const std::int64_t phase = prev_phase + zigzag_decode(raw);
+    if (phase < 0 || phase > std::numeric_limits<std::uint16_t>::max()) {
+      return false;
+    }
+    for (std::uint64_t k = 0; k < run; ++k, ++i) {
+      out[i].phase = static_cast<std::uint16_t>(phase);
+    }
+    prev_phase = phase;
+  }
+  return p == end;  // trailing garbage rejects the block
+}
+
+}  // namespace dmm::trace

@@ -1,0 +1,315 @@
+// Capture runtime: per-thread SPSC rings -> sequence-ordered merge ->
+// streaming TraceWriter.  See dmm_capture.h for the contract.
+
+#include "dmm_capture.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dmm/trace/trace_store.h"
+
+namespace dmm::capture {
+namespace {
+
+using core::AllocEvent;
+
+struct Rec {
+  enum class Op : std::uint8_t { kAlloc, kFree, kPhase };
+  std::uint64_t seq = 0;
+  const void* ptr = nullptr;
+  std::uint32_t size = 0;
+  Op op = Op::kAlloc;
+};
+
+/// Lock-free single-producer (owning thread) / single-consumer (writer
+/// thread) ring.  Capacity is a power of two; a full ring makes the
+/// producer spin-yield — backpressure, never silent loss, because a
+/// dropped free would corrupt every later event on that address.
+class Ring {
+ public:
+  static constexpr std::size_t kCapacity = 1u << 12;
+
+  bool try_push(const Rec& r) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    if (h - t == kCapacity) return false;
+    slots_[h & (kCapacity - 1)] = r;
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(Rec* r) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    if (t == h) return false;
+    *r = slots_[t & (kCapacity - 1)];
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+  Rec slots_[kCapacity];
+};
+
+struct RecAfter {
+  bool operator()(const Rec& a, const Rec& b) const { return a.seq > b.seq; }
+};
+
+struct CaptureState {
+  std::atomic<bool> accepting{false};
+  std::atomic<std::uint64_t> seq{0};
+
+  std::mutex rings_mu;  // registration only; the hot path never takes it
+  std::vector<std::shared_ptr<Ring>> rings;
+
+  std::unique_ptr<trace::TraceWriter> writer;
+  std::thread drainer;
+
+  // Writer-thread state: pointer -> dense id of the currently-live
+  // object, next id, current phase, unknown-free count.
+  std::unordered_map<const void*, std::uint32_t> live;
+  std::uint32_t next_id = 0;
+  std::uint16_t phase = 0;
+  std::uint64_t unknown_frees = 0;
+
+  // Sequence-ordered reorder buffer: records are processed strictly in
+  // seq order (the sequence is dense, one record per fetch_add), so the
+  // merged stream is a total order no matter how ring drains interleave.
+  std::priority_queue<Rec, std::vector<Rec>, RecAfter> pending;
+  std::uint64_t next_seq = 0;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> stop_at{~0ull};  // process seqs below this
+};
+
+std::mutex g_mu;  // guards g_state swaps (begin/end)
+CaptureState* g_state = nullptr;
+std::atomic<bool> g_active{false};
+std::atomic<std::uint64_t> g_generation{0};
+
+// Ended captures are retired, not freed: a thread inside record() may
+// still hold the state pointer for a moment after capture_end flips
+// g_active, and its stray push must land in live memory (it is never
+// drained).  One small state object per begin/end cycle is the price of
+// a lock-free hot path.
+std::vector<CaptureState*>* g_retired = nullptr;
+
+thread_local bool tl_opted_out = false;
+thread_local Ring* tl_ring = nullptr;
+thread_local std::uint64_t tl_ring_generation = ~0ull;
+
+Ring* local_ring(CaptureState* st, std::uint64_t generation) {
+  if (tl_ring != nullptr && tl_ring_generation == generation) return tl_ring;
+  auto ring = std::make_shared<Ring>();
+  {
+    std::lock_guard<std::mutex> lock(st->rings_mu);
+    st->rings.push_back(ring);
+  }
+  tl_ring = ring.get();
+  tl_ring_generation = generation;
+  return tl_ring;
+}
+
+void process_in_order(CaptureState* st) {
+  const std::uint64_t stop_at = st->stop_at.load(std::memory_order_acquire);
+  while (!st->pending.empty() && st->pending.top().seq == st->next_seq) {
+    const Rec r = st->pending.top();
+    st->pending.pop();
+    ++st->next_seq;
+    if (r.seq >= stop_at) continue;  // recorded after the end snapshot
+    switch (r.op) {
+      case Rec::Op::kAlloc: {
+        // A second alloc of a live address means its free was dropped
+        // upstream of us; close the old life so the trace stays valid.
+        const auto it = st->live.find(r.ptr);
+        if (it != st->live.end()) {
+          st->writer->add({AllocEvent::Op::kFree, it->second, 0, st->phase});
+          st->live.erase(it);
+        }
+        const std::uint32_t id = st->next_id++;
+        st->live.emplace(r.ptr, id);
+        st->writer->add({AllocEvent::Op::kAlloc, id, r.size, st->phase});
+        break;
+      }
+      case Rec::Op::kFree: {
+        const auto it = st->live.find(r.ptr);
+        if (it == st->live.end()) {
+          ++st->unknown_frees;
+          break;
+        }
+        st->writer->add({AllocEvent::Op::kFree, it->second, 0, st->phase});
+        st->live.erase(it);
+        break;
+      }
+      case Rec::Op::kPhase:
+        st->phase = static_cast<std::uint16_t>(r.size);
+        break;
+    }
+  }
+}
+
+void drain_rings(CaptureState* st) {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(st->rings_mu);
+    rings = st->rings;
+  }
+  Rec r;
+  for (const auto& ring : rings) {
+    while (ring->try_pop(&r)) st->pending.push(r);
+  }
+}
+
+void drainer_main(CaptureState* st) {
+  capture_thread_opt_out();  // our own allocations are bookkeeping
+  int stalled = 0;
+  for (;;) {
+    drain_rings(st);
+    const std::uint64_t before = st->next_seq;
+    process_in_order(st);
+    if (st->stop.load(std::memory_order_acquire)) {
+      // Stop only once every pre-snapshot record has been merged: a
+      // producer between its fetch_add and its push lands shortly.  A
+      // producer that *abandoned* its push (capture ended under it, or
+      // its thread died mid-record) leaves a permanent gap — after a
+      // stall timeout, skip it rather than hang the join.
+      const std::uint64_t stop_at =
+          st->stop_at.load(std::memory_order_acquire);
+      if (st->next_seq >= stop_at) return;
+      if (st->next_seq != before) {
+        stalled = 0;
+      } else if (++stalled > 50) {
+        st->next_seq =
+            st->pending.empty() ? stop_at : st->pending.top().seq;
+        stalled = 0;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void record(Rec::Op op, const void* ptr, std::uint32_t size) {
+  if (tl_opted_out) return;
+  if (!g_active.load(std::memory_order_acquire)) return;
+  CaptureState* st = g_state;
+  if (st == nullptr || !st->accepting.load(std::memory_order_acquire)) {
+    return;
+  }
+  Ring* ring =
+      local_ring(st, g_generation.load(std::memory_order_acquire));
+  Rec r;
+  r.seq = st->seq.fetch_add(1, std::memory_order_relaxed);
+  r.ptr = ptr;
+  r.size = size;
+  r.op = op;
+  while (!ring->try_push(r)) {
+    // Backpressure while the writer catches up; bail if the capture
+    // ended under us (the writer may already be gone — see the stall
+    // skip in drainer_main).
+    if (!st->accepting.load(std::memory_order_acquire)) return;
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+bool capture_begin(const char* path, std::string* why) {
+  const bool saved = tl_opted_out;
+  tl_opted_out = true;  // our own setup allocations are not events
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_state != nullptr) {
+    if (why != nullptr) *why = "capture already running";
+    tl_opted_out = saved;
+    return false;
+  }
+  auto st = std::make_unique<CaptureState>();
+  st->writer = trace::TraceWriter::create(path, why);
+  if (st->writer == nullptr) {
+    tl_opted_out = saved;
+    return false;
+  }
+  st->accepting.store(true, std::memory_order_release);
+  st->drainer = std::thread(drainer_main, st.get());
+  g_state = st.release();
+  g_generation.fetch_add(1, std::memory_order_release);
+  g_active.store(true, std::memory_order_release);
+  tl_opted_out = saved;
+  return true;
+}
+
+bool capture_active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+void capture_alloc(const void* ptr, std::size_t size) {
+  if (ptr == nullptr) return;
+  const std::uint32_t clamped =
+      size > 0xffffffffull ? 0xffffffffu : static_cast<std::uint32_t>(size);
+  record(Rec::Op::kAlloc, ptr, clamped);
+}
+
+void capture_free(const void* ptr) {
+  if (ptr == nullptr) return;
+  record(Rec::Op::kFree, ptr, 0);
+}
+
+void capture_phase(std::uint16_t phase) {
+  record(Rec::Op::kPhase, nullptr, phase);
+}
+
+void capture_thread_opt_out() { tl_opted_out = true; }
+
+CaptureReport capture_end(std::string* why) {
+  const bool saved = tl_opted_out;
+  tl_opted_out = true;
+  std::lock_guard<std::mutex> lock(g_mu);
+  CaptureReport report;
+  CaptureState* st = g_state;
+  if (st == nullptr) {
+    tl_opted_out = saved;
+    return report;
+  }
+  // Snapshot-then-drain: stop admitting new events, cut the stream at
+  // the current sequence, and wait for the writer to merge everything
+  // below the cut.
+  st->accepting.store(false, std::memory_order_release);
+  st->stop_at.store(st->seq.load(std::memory_order_acquire),
+                    std::memory_order_release);
+  st->stop.store(true, std::memory_order_release);
+  st->drainer.join();
+
+  // Close still-live objects (in id order, for a reproducible tail) so
+  // the trace is validate()-clean.
+  std::vector<std::uint32_t> open_ids;
+  open_ids.reserve(st->live.size());
+  // Hash order never reaches the written trace: the collected ids are
+  // sorted below.  dmm-lint: allow(unordered-iter)
+  for (const auto& [ptr, id] : st->live) {
+    (void)ptr;
+    open_ids.push_back(id);
+  }
+  std::sort(open_ids.begin(), open_ids.end());
+  for (const std::uint32_t id : open_ids) {
+    st->writer->add({AllocEvent::Op::kFree, id, 0, st->phase});
+  }
+  report.events = st->writer->events();
+  report.unknown_frees = st->unknown_frees;
+  report.ok = st->writer->finish(why);
+  g_active.store(false, std::memory_order_release);
+  g_state = nullptr;
+  if (g_retired == nullptr) g_retired = new std::vector<CaptureState*>();
+  g_retired->push_back(st);  // see the comment at g_retired
+  tl_opted_out = saved;
+  return report;
+}
+
+}  // namespace dmm::capture

@@ -1,0 +1,197 @@
+// LD_PRELOAD interposer: records malloc / calloc / realloc / free into
+// the capture runtime (capture.cpp) and streams them to the DMMT file
+// named by DMM_CAPTURE_OUT.
+//
+//   LD_PRELOAD=./tools/libdmm_capture.so DMM_CAPTURE_OUT=/tmp/app.dmmt
+//   ./your_app
+//
+// The fiddly parts, and why they look the way they do:
+//
+//  - dlsym(RTLD_NEXT, "malloc") may itself call calloc before the real
+//    calloc is known.  Those bootstrap requests are served from a small
+//    static arena; its pointers are recognized in free() and never
+//    passed to the real allocator.
+//
+//  - The capture runtime allocates (ring registration, writer-side
+//    maps).  A thread-local busy flag makes those nested allocations
+//    invisible to the recorder instead of recursing forever.
+//
+//  - Recording order is the contract trace validity rests on: alloc is
+//    recorded *after* the real allocator returns, free *before* the real
+//    release, so address reuse can never reorder into free-before-alloc.
+
+#include <dlfcn.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "dmm_capture.h"
+
+namespace {
+
+using MallocFn = void* (*)(std::size_t);
+using CallocFn = void* (*)(std::size_t, std::size_t);
+using ReallocFn = void* (*)(void*, std::size_t);
+using FreeFn = void (*)(void*);
+
+MallocFn g_real_malloc = nullptr;
+CallocFn g_real_calloc = nullptr;
+ReallocFn g_real_realloc = nullptr;
+FreeFn g_real_free = nullptr;
+std::atomic<bool> g_resolved{false};
+
+// Bootstrap arena for allocations made while dlsym resolves the real
+// functions.  Never freed; free() recognizes and ignores its pointers.
+alignas(16) unsigned char g_boot[1 << 16];
+std::atomic<std::size_t> g_boot_used{0};
+
+bool from_boot(const void* p) {
+  return p >= static_cast<const void*>(g_boot) &&
+         p < static_cast<const void*>(g_boot + sizeof(g_boot));
+}
+
+void* boot_alloc(std::size_t n) {
+  n = (n + 15u) & ~static_cast<std::size_t>(15u);
+  const std::size_t at = g_boot_used.fetch_add(n, std::memory_order_relaxed);
+  if (at + n > sizeof(g_boot)) return nullptr;
+  return g_boot + at;
+}
+
+thread_local bool tl_resolving = false;
+thread_local bool tl_busy = false;
+
+void resolve_real() {
+  if (g_resolved.load(std::memory_order_acquire)) return;
+  if (tl_resolving) return;  // dlsym re-entered malloc; boot arena serves
+  tl_resolving = true;
+  g_real_malloc =
+      reinterpret_cast<MallocFn>(dlsym(RTLD_NEXT, "malloc"));
+  g_real_calloc =
+      reinterpret_cast<CallocFn>(dlsym(RTLD_NEXT, "calloc"));
+  g_real_realloc =
+      reinterpret_cast<ReallocFn>(dlsym(RTLD_NEXT, "realloc"));
+  g_real_free = reinterpret_cast<FreeFn>(dlsym(RTLD_NEXT, "free"));
+  g_resolved.store(true, std::memory_order_release);
+  tl_resolving = false;
+}
+
+/// RAII busy guard: events recorded while the capture machinery itself
+/// allocates are bookkeeping, not application behaviour.
+class BusyGuard {
+ public:
+  BusyGuard() : armed_(!tl_busy) {
+    if (armed_) tl_busy = true;
+  }
+  ~BusyGuard() {
+    if (armed_) tl_busy = false;
+  }
+  bool armed() const { return armed_; }
+
+ private:
+  bool armed_;
+};
+
+__attribute__((constructor)) void dmm_capture_ctor() {
+  const char* out = std::getenv("DMM_CAPTURE_OUT");
+  if (out == nullptr || *out == '\0') return;
+  BusyGuard guard;
+  (void)dmm::capture::capture_begin(out);
+}
+
+void finalize_capture() {
+  if (!dmm::capture::capture_active()) return;
+  BusyGuard guard;
+  (void)dmm::capture::capture_end(nullptr);
+}
+
+// Normal shutdown: DSO destructors run and finalize the trace.  Shells
+// and daemons that leave via _exit() (dash does) skip destructors, so
+// exit and _exit are interposed as well; capture_end is a no-op the
+// second time around.
+__attribute__((destructor)) void dmm_capture_dtor() { finalize_capture(); }
+
+}  // namespace
+
+extern "C" {
+
+void* malloc(std::size_t size) {
+  if (!g_resolved.load(std::memory_order_acquire)) {
+    resolve_real();
+    if (!g_resolved.load(std::memory_order_acquire)) {
+      return boot_alloc(size);
+    }
+  }
+  void* p = g_real_malloc(size);
+  BusyGuard guard;
+  if (guard.armed() && p != nullptr) dmm::capture::capture_alloc(p, size);
+  return p;
+}
+
+void* calloc(std::size_t count, std::size_t size) {
+  if (!g_resolved.load(std::memory_order_acquire)) {
+    resolve_real();
+    if (!g_resolved.load(std::memory_order_acquire)) {
+      // dlsym's own calloc: zeroed by the arena being static.
+      if (size != 0 && count > (~static_cast<std::size_t>(0)) / size) {
+        return nullptr;
+      }
+      return boot_alloc(count * size);
+    }
+  }
+  void* p = g_real_calloc(count, size);
+  BusyGuard guard;
+  if (guard.armed() && p != nullptr) {
+    dmm::capture::capture_alloc(p, count * size);
+  }
+  return p;
+}
+
+void* realloc(void* ptr, std::size_t size) {
+  if (!g_resolved.load(std::memory_order_acquire)) resolve_real();
+  if (from_boot(ptr)) {
+    // Migrate a bootstrap block; its original size is unknown, so copy
+    // the full request (the arena is readable past the block).
+    void* fresh = malloc(size);
+    if (fresh != nullptr && size != 0) std::memcpy(fresh, ptr, size);
+    return fresh;
+  }
+  {
+    // Record the release before the real call frees (or moves) it.
+    BusyGuard guard;
+    if (guard.armed() && ptr != nullptr) dmm::capture::capture_free(ptr);
+  }
+  void* p = g_real_realloc(ptr, size);
+  BusyGuard guard;
+  if (guard.armed() && p != nullptr) dmm::capture::capture_alloc(p, size);
+  return p;
+}
+
+void free(void* ptr) {
+  if (ptr == nullptr || from_boot(ptr)) return;
+  if (!g_resolved.load(std::memory_order_acquire)) resolve_real();
+  {
+    BusyGuard guard;
+    if (guard.armed()) dmm::capture::capture_free(ptr);
+  }
+  g_real_free(ptr);
+}
+
+void exit(int status) noexcept {
+  finalize_capture();
+  using ExitFn = void (*)(int);
+  const auto real = reinterpret_cast<ExitFn>(dlsym(RTLD_NEXT, "exit"));
+  real(status);
+  __builtin_unreachable();
+}
+
+void _exit(int status) noexcept {
+  finalize_capture();
+  using ExitFn = void (*)(int);
+  const auto real = reinterpret_cast<ExitFn>(dlsym(RTLD_NEXT, "_exit"));
+  real(status);
+  __builtin_unreachable();
+}
+
+}  // extern "C"

@@ -88,7 +88,8 @@ KNOB_WHITELIST = (
 
 RAW_PARSE_WHITELIST = ("src/core/search.cpp",)
 
-SCAN_DIRS = ("src", "bench", "examples", "tests")
+SCAN_DIRS = ("src", "bench", "examples", "tests",
+             "tools/dmm_capture")
 
 ALLOW_RE = re.compile(r"dmm-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
@@ -288,11 +289,15 @@ def lint_files(root, paths, scoped=True):
 
         checks = []
         if scoped:
-            in_src = rel.startswith("src/")
+            # The capture shim feeds the determinism-sensitive trace
+            # pipeline, so it gets the same nondet / iteration-order /
+            # pointer-order discipline as src/.
+            in_scope = (rel.startswith("src/") or
+                        rel.startswith("tools/dmm_capture/"))
             if (not rel.startswith("tests/") and rel not in KNOB_WHITELIST):
                 checks.append(check_raw_knob_read(
                     rel, clean_lines, in_alloc=rel.startswith("src/alloc/")))
-            if in_src:
+            if in_scope:
                 checks.append(check_nondet(rel, clean_lines))
                 checks.append(check_unordered_iter(rel, clean_lines,
                                                    unordered_names))
