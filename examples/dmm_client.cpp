@@ -19,6 +19,9 @@
 //   --shutdown         ask the daemon to exit gracefully (saves its cache
 //                      snapshot); no request is sent
 //   --quiet            suppress per-beat progress lines
+//   --export-config F  write the reply's designed vectors as a checksummed
+//                      config artifact (runtime/config_artifact.h) for
+//                      runtime::DesignedAllocator / bench_runtime
 //
 // Exit codes: 0 ok, 1 error reply / connection trouble, 2 usage,
 // 3 request cancelled.
@@ -30,19 +33,22 @@
 #include "dmm/api/design_api.h"
 #include "dmm/serve/client.h"
 
+#include "example_util.h"
+
 namespace {
 
 int usage(const char* prog, const dmm::api::RequestCli& cli) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--local] [--shutdown] "
-               "[--cancel-after N] [--quiet] %s\n",
+               "[--cancel-after N] [--quiet] [--export-config FILE] %s\n",
                prog, cli.flags_help().c_str());
   return 2;
 }
 
-/// Prints a final reply (both the daemon and the --local path) and maps it
-/// to the process exit code.
-int print_reply(const char* prog, const dmm::api::DesignReply& reply) {
+/// Prints a final reply (both the daemon and the --local path), runs the
+/// --export-config tail, and maps the outcome to the process exit code.
+int print_reply(const char* prog, const dmm::api::DesignReply& reply,
+                const std::string& export_path) {
   if (!reply.ok) {
     std::fprintf(stderr, "%s: request failed: %s\n", prog,
                  reply.error.c_str());
@@ -68,6 +74,16 @@ int print_reply(const char* prog, const dmm::api::DesignReply& reply) {
   std::printf("daemon cache: %llu entries, %llu evictions\n",
               static_cast<unsigned long long>(reply.cache_entries),
               static_cast<unsigned long long>(reply.cache_evictions));
+  if (!export_path.empty() && reply.phase_configs.empty()) {
+    // A well-formed ok reply always carries its configs; refuse to write
+    // an empty artifact from a malformed one.
+    std::fprintf(stderr, "%s: reply carries no configs to export\n", prog);
+    return 1;
+  }
+  if (!dmm::examples::export_designed_configs(prog, export_path,
+                                              reply.phase_configs)) {
+    return 1;
+  }
   return 0;
 }
 
@@ -81,6 +97,7 @@ int main(int argc, char** argv) {
   bool local = false;
   bool shutdown = false;
   bool quiet = false;
+  std::string export_path;
   std::uint64_t cancel_after = 0;
   bool cancel_set = false;
   for (int i = 1; i < argc; ++i) {
@@ -102,6 +119,14 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--export-config") == 0 && i + 1 < argc) {
+      export_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--export-config=", 16) == 0) {
+      export_path = argv[i] + 16;
       continue;
     }
     if ((std::strcmp(argv[i], "--cancel-after") == 0 && i + 1 < argc) ||
@@ -133,7 +158,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: %s\n", argv[0], cli.error().c_str());
       return 2;
     }
-    return print_reply(argv[0], api::run_design_request(cli.request));
+    return print_reply(argv[0], api::run_design_request(cli.request),
+                       export_path);
   }
   if (socket_path.empty()) {
     std::fprintf(stderr, "%s: --socket PATH is required\n", argv[0]);
@@ -201,7 +227,7 @@ int main(int argc, char** argv) {
         break;
       }
       case serve::Client::Event::kReply:
-        return print_reply(argv[0], reply);
+        return print_reply(argv[0], reply, export_path);
       case serve::Client::Event::kError:
         std::fprintf(stderr, "%s: %s\n", argv[0], why.c_str());
         return 1;

@@ -28,6 +28,11 @@
 //                       winning vector on the FULL trace — streamed from
 //                       the .dmmt mapping when one was given — and report
 //                       the sample's peak estimate against the truth.
+//   --export-config F   write the designed decision vector(s) as a
+//                       checksummed config artifact (one record per phase;
+//                       runtime/config_artifact.h) that
+//                       runtime::DesignedAllocator and bench_runtime load
+//                       to serve live malloc/free traffic.
 
 #include <cstdio>
 #include <cstring>
@@ -50,7 +55,7 @@ namespace {
 
 int usage(const char* prog, const dmm::api::RequestCli& cli) {
   std::fprintf(stderr,
-               "usage: %s %s [--sample N]\n"
+               "usage: %s %s [--sample N] [--export-config FILE]\n"
                "  --family elements: a DRR traffic seed (digits only) or a "
                "trace file path;\n  at least two traces make a family\n",
                prog, cli.flags_help().c_str());
@@ -76,12 +81,21 @@ int main(int argc, char** argv) {
   cli.request.num_threads = 0;  // one eval worker per hardware thread
   std::size_t sample_budget = 0;
   bool sample_set = false;
+  std::string export_path;
   for (int i = 1; i < argc; ++i) {
     const api::RequestCli::Arg arg = cli.consume(argc, argv, &i);
     if (arg == api::RequestCli::Arg::kConsumed) continue;
     if (arg == api::RequestCli::Arg::kError) {
       std::fprintf(stderr, "%s: %s\n", argv[0], cli.error().c_str());
       return 2;
+    }
+    if (std::strcmp(argv[i], "--export-config") == 0 && i + 1 < argc) {
+      export_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--export-config=", 16) == 0) {
+      export_path = argv[i] + 16;
+      continue;
     }
     std::string value;
     if (std::strncmp(argv[i], "--sample", 8) == 0) {
@@ -156,6 +170,10 @@ int main(int argc, char** argv) {
       std::printf("  %-20s peak %9zu B  avg %9.0f B  %s\n", label.c_str(),
                   r.sim.peak_footprint, r.sim.avg_footprint,
                   r.feasible() ? "feasible" : "INFEASIBLE");
+    }
+    if (!examples::export_designed_configs(argv[0], export_path,
+                                           {family.best})) {
+      return 1;
     }
     return family.feasible ? 0 : 1;
   }
@@ -233,6 +251,10 @@ int main(int argc, char** argv) {
                 "%.1f%%)\n",
                 100.0 * est_err,
                 100.0 * sample.peak_relative_error_bound);
+    if (!examples::export_designed_configs(argv[0], export_path,
+                                           {result.best})) {
+      return 1;
+    }
     return truth.failed_allocs == 0 ? 0 : 1;
   }
 
@@ -291,6 +313,10 @@ int main(int argc, char** argv) {
       }
       std::printf("  %-10s peak %10zu B\n", name, r.peak_footprint);
     }
+    if (!examples::export_designed_configs(argv[0], export_path,
+                                           {result.best})) {
+      return 1;
+    }
     return 0;
   }
 
@@ -327,6 +353,12 @@ int main(int argc, char** argv) {
       sum += static_cast<double>(arena.peak_footprint());
     }
     std::printf("  %-10s mean peak %10.0f B\n", name, sum / 5.0);
+  }
+  // The methodology run's per-phase vectors are the deployable design —
+  // export those (the walk above is narration of the same search).
+  if (!examples::export_designed_configs(argv[0], export_path,
+                                         design.phase_configs)) {
+    return 1;
   }
   return 0;
 }

@@ -4,15 +4,19 @@
 // Shared argv helpers for the example CLIs (the bench twins live in
 // bench/bench_util.h).  The DesignRequest-building binaries (drr_explore,
 // recon_explore, render_explore, quickstart, dmm_client) parse their flag
-// surface through api::RequestCli instead — only trace_tool's bespoke
-// positional arguments still need a helper here.
+// surface through api::RequestCli instead — this header keeps trace_tool's
+// bespoke positional parsing and the --export-config tail the design CLIs
+// share.
 
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <string>
+#include <vector>
 
+#include "dmm/alloc/config.h"
 #include "dmm/core/search.h"
+#include "dmm/runtime/config_artifact.h"
 
 namespace dmm::examples {
 
@@ -31,6 +35,27 @@ inline unsigned parse_unsigned_or_die(const char* prog, const char* what,
     std::exit(2);
   }
   return static_cast<unsigned>(*value);
+}
+
+/// The --export-config tail shared by the design CLIs: writes the designed
+/// decision vectors as a runtime config artifact (see
+/// runtime/config_artifact.h) so a deployment can load them straight into
+/// runtime::DesignedAllocator.  No-op when @p path is empty; loud failure
+/// (false, message on stderr) otherwise — an export the user asked for
+/// must never half-happen silently.
+inline bool export_designed_configs(const char* prog, const std::string& path,
+                                    const std::vector<alloc::DmmConfig>& cfgs) {
+  if (path.empty()) return true;
+  const runtime::ConfigArtifactSaveResult saved =
+      runtime::save_config_artifact(path, cfgs);
+  if (!saved.saved) {
+    std::fprintf(stderr, "%s: --export-config %s failed: %s\n", prog,
+                 path.c_str(), saved.reason.c_str());
+    return false;
+  }
+  std::printf("exported %zu designed config%s to %s\n", cfgs.size(),
+              cfgs.size() == 1 ? "" : "s", path.c_str());
+  return true;
 }
 
 }  // namespace dmm::examples

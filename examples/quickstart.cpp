@@ -3,12 +3,17 @@
 //  1. run your application on any manager under the profiler,
 //  2. hand the recorded trace to the methodology,
 //  3. get back a custom DM manager designed for *your* allocation
-//     behaviour, and use it like malloc/free.
+//     behaviour, and use it like malloc/free,
+//  4. deploy it: export the design as a config artifact, load it into the
+//     thread-safe runtime front (runtime::DesignedAllocator), serve live
+//     concurrent malloc/free, and read the telemetry.
 //
 // Build & run:  ./build/examples/quickstart
 //
 // Optional: --cache-file PATH persists the design run's score cache, so
-// re-running the quickstart replays nothing it already scored.  The other
+// re-running the quickstart replays nothing it already scored; and
+// --export-config FILE picks where step 4 writes the design artifact
+// (default: quickstart.dmmconfig in the working directory).  The other
 // shared DesignRequest flags (--search, --threads; api::RequestCli) work
 // too; the profiled trace is produced in-process below.
 
@@ -16,6 +21,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dmm/alloc/custom_manager.h"
@@ -23,6 +29,10 @@
 #include "dmm/core/methodology.h"
 #include "dmm/core/profiler.h"
 #include "dmm/managers/registry.h"
+#include "dmm/runtime/config_artifact.h"
+#include "dmm/runtime/designed_allocator.h"
+
+#include "example_util.h"
 
 int main(int argc, char** argv) {
   using namespace dmm;
@@ -31,6 +41,7 @@ int main(int argc, char** argv) {
   cli.allow_trace_flags = false;  // the quickstart profiles its own trace
   cli.request.num_threads = 0;    // one eval worker per hardware thread
   cli.request.validate = true;    // cross-check the walk below
+  std::string export_path = "quickstart.dmmconfig";
   for (int i = 1; i < argc; ++i) {
     const api::RequestCli::Arg arg = cli.consume(argc, argv, &i);
     if (arg == api::RequestCli::Arg::kConsumed) continue;
@@ -38,7 +49,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: %s\n", argv[0], cli.error().c_str());
       return 2;
     }
-    std::fprintf(stderr, "usage: %s %s\n", argv[0],
+    if (std::strcmp(argv[i], "--export-config") == 0 && i + 1 < argc) {
+      export_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--export-config=", 16) == 0) {
+      export_path = argv[i] + 16;
+      continue;
+    }
+    std::fprintf(stderr, "usage: %s %s [--export-config FILE]\n", argv[0],
                  cli.flags_help().c_str());
     return 2;
   }
@@ -145,5 +164,67 @@ int main(int argc, char** argv) {
     std::printf("  %-20s  %12zu %14.0f %14zu\n", "custom",
                 sim.peak_footprint, sim.avg_footprint, sim.final_footprint);
   }
+
+  // --- 4. deploy it -------------------------------------------------------
+  // Steps 1-3 used the bare policy core: single-threaded, deterministic,
+  // the form the search scored.  Deployment crosses a process boundary, so
+  // the design travels as a checksummed artifact and live traffic goes
+  // through the runtime front — the same core behind a lock, with
+  // per-thread caches, an OOM policy, and always-on telemetry.
+  if (!examples::export_designed_configs(argv[0], export_path,
+                                         design.phase_configs)) {
+    return 1;
+  }
+  const runtime::ConfigArtifactLoadResult loaded =
+      runtime::load_config_artifact(export_path);
+  if (!loaded.loaded) {
+    std::fprintf(stderr, "%s: reloading %s failed: %s\n", argv[0],
+                 export_path.c_str(), loaded.reason.c_str());
+    return 1;
+  }
+  runtime::RuntimeOptions ropts;
+  ropts.oom_policy = runtime::OomPolicy::kNull;
+  runtime::DesignedAllocator deployed(loaded.configs[0], ropts);
+  {
+    // Live concurrent malloc/free through the designed allocator — the
+    // traffic the offline-scored layout now serves for real.
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < 4; ++t) {
+      workers.emplace_back([&deployed, t] {
+        std::vector<std::pair<void*, std::size_t>> live;
+        unsigned rng = 11 + t;
+        for (int step = 0; step < 5000; ++step) {
+          rng = rng * 1664525u + 1013904223u;
+          if (live.empty() || rng % 3 != 0) {
+            const std::size_t size = 16 + rng % 2000;
+            void* block = deployed.malloc(size);
+            if (block != nullptr) {
+              std::memset(block, 0xCD, size);
+              live.emplace_back(block, size);
+            }
+          } else {
+            const std::size_t at = rng % live.size();
+            deployed.free(live[at].first);
+            live[at] = live.back();
+            live.pop_back();
+          }
+        }
+        for (const auto& entry : live) deployed.free(entry.first);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  const runtime::TelemetrySnapshot t = deployed.telemetry();
+  std::printf("\ndeployed runtime telemetry (4 threads):\n");
+  std::printf("  allocs %llu (cache hits %llu), frees %llu\n",
+              static_cast<unsigned long long>(t.alloc_count),
+              static_cast<unsigned long long>(t.cache_hits),
+              static_cast<unsigned long long>(t.free_count));
+  std::printf("  live %llu B now, peak %llu B; arena peak %zu B, "
+              "failed requests %llu\n",
+              static_cast<unsigned long long>(t.bytes_live),
+              static_cast<unsigned long long>(t.peak_bytes_live),
+              t.arena.peak_footprint,
+              static_cast<unsigned long long>(t.arena.failed_requests));
   return 0;
 }

@@ -22,8 +22,13 @@ namespace dmm::alloc {
 /// This is the executable semantics of the search space — the exploration
 /// engine builds one CustomManager per candidate vector and replays the
 /// profiled allocation trace through it to score the vector's footprint.
-/// It is also the runtime artefact a designer ships: construct it with the
-/// winning vector over the platform arena and route malloc/free to it.
+///
+/// In the policy-core / runtime-front split (see policy_core.h) this class
+/// is the *policy core*: deliberately single-threaded, bit-deterministic,
+/// every soft-knob read routed through the typed accessors below.  Ship it
+/// behind runtime::DesignedAllocator (src/runtime) when live concurrent
+/// malloc/free traffic, an OOM policy, or telemetry is needed; use it bare
+/// for replay, scoring, and checkpointing.
 ///
 /// The constructor aborts on decision vectors with *hard* interdependency
 /// violations (see config_rules.h); validate first with is_valid().

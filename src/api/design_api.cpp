@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "dmm/alloc/config.h"
+#include "dmm/core/design_space.h"
 #include "dmm/trace/trace_store.h"
 #include "dmm/workloads/workload.h"
 
@@ -116,6 +117,60 @@ bool check_version(const std::string& line, const std::string& prefix,
 
 const char* aggregate_name(core::FamilyAggregate aggregate) {
   return aggregate == core::FamilyAggregate::kMaxPeak ? "max" : "wsum";
+}
+
+// ---- decision-vector wire form --------------------------------------------
+//
+// A full DmmConfig travels as one "config" line of 20 integers: the 15 tree
+// leaf indices in all_trees() order, then the 5 numeric knobs (chunk,
+// big-request, static-pool, deferred-split-min, max-class-log2).  Leaf
+// *indices* rather than names keep the line free of the signature grammar
+// and make range validation exact.
+
+std::string config_to_wire(const alloc::DmmConfig& cfg) {
+  std::string out;
+  for (const core::TreeId t : core::all_trees()) {
+    out += std::to_string(core::get_leaf(cfg, t)) + " ";
+  }
+  out += std::to_string(cfg.chunk_bytes) + " ";
+  out += std::to_string(cfg.big_request_bytes) + " ";
+  out += std::to_string(cfg.static_pool_bytes) + " ";
+  out += std::to_string(cfg.deferred_split_min) + " ";
+  out += std::to_string(cfg.max_class_log2);
+  return out;
+}
+
+bool parse_config_field(const std::string& rest, alloc::DmmConfig* out) {
+  std::vector<std::uint64_t> values;
+  std::size_t begin = 0;
+  while (begin < rest.size()) {
+    std::size_t end = rest.find(' ', begin);
+    if (end == std::string::npos) end = rest.size();
+    if (end == begin) return false;  // double space / leading space
+    const auto v = core::parse_number(rest.substr(begin, end - begin));
+    if (!v) return false;
+    values.push_back(*v);
+    begin = end + 1;
+  }
+  const std::vector<core::TreeId>& trees = core::all_trees();
+  if (values.size() != trees.size() + 5) return false;
+  alloc::DmmConfig cfg;
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    if (values[i] >=
+        static_cast<std::uint64_t>(core::leaf_count(trees[i]))) {
+      return false;
+    }
+    core::set_leaf(cfg, trees[i], static_cast<int>(values[i]));
+  }
+  const std::size_t n = trees.size();
+  if (values[n + 4] > std::numeric_limits<unsigned>::max()) return false;
+  cfg.chunk_bytes = static_cast<std::size_t>(values[n]);
+  cfg.big_request_bytes = static_cast<std::size_t>(values[n + 1]);
+  cfg.static_pool_bytes = static_cast<std::size_t>(values[n + 2]);
+  cfg.deferred_split_min = static_cast<std::size_t>(values[n + 3]);
+  cfg.max_class_log2 = static_cast<unsigned>(values[n + 4]);
+  *out = cfg;
+  return true;
 }
 
 std::string bool_field(const char* key, bool v) {
@@ -282,6 +337,7 @@ DesignReply run_design_request(const DesignRequest& req) {
       reply.family = true;
       reply.feasible = family.feasible;
       reply.phase_signatures.push_back(alloc::signature(family.best));
+      reply.phase_configs.push_back(family.best);
       reply.best_peak = family.search.best_sim.peak_footprint;
       reply.aggregate_objective = family.aggregate_objective;
       reply.simulations = family.search.simulations;
@@ -294,6 +350,7 @@ DesignReply run_design_request(const DesignRequest& req) {
       reply.feasible = true;
       for (const alloc::DmmConfig& cfg : design.phase_configs) {
         reply.phase_signatures.push_back(alloc::signature(cfg));
+        reply.phase_configs.push_back(cfg);
       }
       for (const core::ExplorationResult& r : design.phase_results) {
         // Empty phases carry a default (never-searched) result — skip
@@ -452,6 +509,9 @@ std::string serialize_reply(const DesignReply& reply) {
   for (const std::string& sig : reply.phase_signatures) {
     out += "phase " + sig + "\n";
   }
+  for (const alloc::DmmConfig& cfg : reply.phase_configs) {
+    out += "config " + config_to_wire(cfg) + "\n";
+  }
   out += u64_field("best-peak", reply.best_peak);
   out += u64_field("aggregate-objective",
                    double_to_bits(reply.aggregate_objective));
@@ -496,6 +556,10 @@ bool parse_reply(const std::string& text, DesignReply* out,
     } else if (key == "phase") {
       valid = !rest.empty();
       if (valid) reply.phase_signatures.push_back(rest);
+    } else if (key == "config") {
+      alloc::DmmConfig cfg;
+      valid = parse_config_field(rest, &cfg);
+      if (valid) reply.phase_configs.push_back(cfg);
     } else if (key == "best-peak") {
       valid = parse_u64_field(rest, &reply.best_peak);
     } else if (key == "aggregate-objective") {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "dmm/alloc/config.h"
 #include "dmm/core/methodology.h"
 #include "dmm/core/search.h"
 #include "dmm/core/trace.h"
@@ -146,6 +147,12 @@ struct DesignReply {
   bool family = false;
   bool feasible = false;
   std::vector<std::string> phase_signatures;
+  /// The designed decision vectors themselves, parallel to
+  /// phase_signatures.  Signatures stay the human/parity-check form; these
+  /// carry the full config (numeric knobs included) so a caller can feed
+  /// the design straight into runtime::save_config_artifact /
+  /// runtime::DesignedAllocator without re-deriving it.
+  std::vector<alloc::DmmConfig> phase_configs;
   /// Single-trace: the worst phase's best peak; family: the aggregate
   /// best's peak.  Informational — parity checks compare signatures.
   std::uint64_t best_peak = 0;

@@ -5,7 +5,7 @@
 #include <limits>
 #include <utility>
 
-#include "dmm/alloc/custom_manager.h"
+#include "dmm/alloc/policy_core.h"
 
 namespace dmm::core {
 
@@ -256,8 +256,11 @@ EvalOutcome replay_cold_publishing(const TraceSource& trace,
   EvalOutcome out;
   out.tag = job.tag;
   sysmem::SystemArena arena;
-  alloc::CustomManager mgr(arena, job.cfg, "candidate",
-                           /*strict_accounting=*/false);
+  // Replay adapter: checkpoint capture drives the bare policy core (see
+  // alloc/policy_core.h) — save_state()/restore_state() are core-level
+  // images; the runtime front's caches are invisible here by design.
+  alloc::PolicyCore mgr(arena, job.cfg, "candidate",
+                        /*strict_accounting=*/false);
   alloc::ConsultSink sink;
   std::vector<std::shared_ptr<const Checkpoint>> checkpoints;
   SimReplayOptions opts;
@@ -290,8 +293,11 @@ EvalOutcome replay_cold_publishing(const TraceSource& trace,
 EvalOutcome replay_resumed(const TraceSource& trace, const EvalJob& job,
                            const Checkpoint& cp) {
   sysmem::SystemArena arena;
-  alloc::CustomManager mgr(arena, job.cfg, "candidate",
-                           /*strict_accounting=*/false);
+  // Resume adapter: same bare policy core as the cold path — resuming
+  // into the deployable front would be unsound (its thread caches are not
+  // part of the checkpoint image, nor may they ever be).
+  alloc::PolicyCore mgr(arena, job.cfg, "candidate",
+                        /*strict_accounting=*/false);
   // Both restores check before they mutate, so a refusal leaves a
   // coherent pair behind (unreachable anyway: plan() gated on the hard
   // knobs that guarantee compatibility).

@@ -5,7 +5,7 @@
 #include <cstring>
 #include <utility>
 
-#include "dmm/alloc/custom_manager.h"
+#include "dmm/alloc/policy_core.h"
 #include "dmm/core/checkpoint.h"
 #include "dmm/sysmem/system_arena.h"
 
@@ -246,10 +246,13 @@ EvalOutcome score_candidate(const TraceSource& trace, const EvalJob& job) {
   EvalOutcome out;
   out.tag = job.tag;
   sysmem::SystemArena arena;
+  // Replay adapter: scoring builds the bare policy core (see
+  // alloc/policy_core.h for the core/runtime-front split) — never the
+  // deployable front, whose caches and locks must not influence a score.
   // strict accounting off: exploration replays thousands of events per
   // candidate and only footprint/work are scored.
-  alloc::CustomManager mgr(arena, job.cfg, "candidate",
-                           /*strict_accounting=*/false);
+  alloc::PolicyCore mgr(arena, job.cfg, "candidate",
+                        /*strict_accounting=*/false);
   out.sim = simulate(trace, mgr);
   out.work_steps = mgr.work_steps();
   out.replayed_events = out.sim.events;

@@ -102,6 +102,14 @@ struct SimReplayOptions {
 
 /// Replays @p trace through @p manager, tracking the arena footprint.
 ///
+/// Adapter contract: @p manager is a bare policy core (or a fixed-point
+/// manager of src/managers) — never the deployable runtime front, whose
+/// thread caches and OOM policy would make the replay score a deployment
+/// artefact instead of the decision vector.  With caching disabled the
+/// front forwards calls 1:1 to its core, so the peak this function reports
+/// for a vector is exactly the peak runtime::DesignedAllocator imposes on
+/// a single-threaded replay of the same trace (bench_runtime checks this).
+///
 /// Failed allocations (arena budget) are tolerated: the object is skipped
 /// and its free ignored, mirroring an embedded malloc returning NULL.
 ///

@@ -3,12 +3,19 @@
 #include <stdexcept>
 #include <utility>
 
+#include "dmm/alloc/policy_core.h"
+
 namespace dmm::core {
 
 std::unique_ptr<alloc::Allocator> MethodologyResult::make_manager(
     sysmem::SystemArena& arena, bool strict_accounting) const {
+  // Adapter note: this hands back the bare policy core (see
+  // alloc/policy_core.h) for in-process, single-threaded use — replay
+  // parity with the search's scoring replays is the contract.  For live
+  // concurrent traffic, export the configs and construct a
+  // runtime::DesignedAllocator instead.
   if (phase_configs.size() == 1) {
-    return std::make_unique<alloc::CustomManager>(
+    return std::make_unique<alloc::PolicyCore>(
         arena, phase_configs[0], "custom", strict_accounting);
   }
   return std::make_unique<GlobalManager>(arena, phase_configs,

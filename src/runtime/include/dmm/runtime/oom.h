@@ -1,0 +1,42 @@
+#ifndef DMM_RUNTIME_OOM_H
+#define DMM_RUNTIME_OOM_H
+
+#include <cstddef>
+#include <functional>
+
+namespace dmm::runtime {
+
+// ---------------------------------------------------------------------------
+// Out-of-memory policy of the deployable runtime front.
+//
+// The policy core (alloc::CustomManager) reports exhaustion the way the
+// simulator needs it to: allocate() returns nullptr and the replay counts a
+// failed allocation.  A deployed allocator cannot stop there — real callers
+// expect one of the three contracts production allocators actually ship:
+//
+//   kDie      the emalloc/die_oom contract: print the failed request to
+//             stderr and abort().  For programs whose only sane answer to
+//             exhaustion is a loud, immediate stop.
+//   kNull     the plain malloc contract: return nullptr and keep the
+//             allocator fully usable for smaller requests and frees.
+//   kCallback a release-and-retry hook: the callback may free memory
+//             through the allocator (caches, pools, low-priority buffers)
+//             and asks for another attempt by returning true.
+// ---------------------------------------------------------------------------
+
+enum class OomPolicy {
+  kDie,       ///< report the failed request on stderr, then abort()
+  kNull,      ///< return nullptr; the allocator stays usable
+  kCallback,  ///< invoke OomCallback; retry while it returns true
+};
+
+/// Invoked (without any allocator lock held, so it may call back into the
+/// allocator to free memory) when an allocation of @p bytes found the arena
+/// exhausted even after the calling thread's cache was reclaimed.
+/// @p attempt counts invocations for this one allocation, starting at 1.
+/// Return true to retry the allocation, false to give up (nullptr).
+using OomCallback = std::function<bool(std::size_t bytes, unsigned attempt)>;
+
+}  // namespace dmm::runtime
+
+#endif  // DMM_RUNTIME_OOM_H

@@ -1,0 +1,136 @@
+#ifndef DMM_RUNTIME_TELEMETRY_H
+#define DMM_RUNTIME_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "dmm/sysmem/arena_stats.h"
+
+namespace dmm::runtime {
+
+// ---------------------------------------------------------------------------
+// Always-on telemetry of the deployable runtime front.
+//
+// Every counter is a relaxed atomic: updates ride the allocation fast path
+// (one or two uncontended RMWs per call, no locks, no fences beyond the
+// RMW itself) and a snapshot may be taken from any thread while traffic is
+// in flight.  Relaxed ordering means a snapshot is not a single cross-
+// counter instant — alloc_count and bytes_live may disagree by the calls
+// racing the read — but each counter individually is exact, which is the
+// contract monitoring needs.
+//
+// The byte counters account *requested* bytes (application demand), the
+// same quantity the simulator's peak_live_bytes tracks; the arena view in
+// TelemetrySnapshot carries the footprint side (bytes held from the OS),
+// so a snapshot exposes both halves of the paper's Sec. 4.1 split.
+// ---------------------------------------------------------------------------
+
+/// One coherent-enough copy of every counter plus the arena's accounting,
+/// readable without stopping traffic (see RuntimeTelemetry::snapshot).
+struct TelemetrySnapshot {
+  std::uint64_t alloc_count = 0;    ///< successful malloc/realloc-grow calls
+  std::uint64_t free_count = 0;     ///< free calls with a live pointer
+  std::uint64_t realloc_count = 0;  ///< realloc calls (any outcome)
+  std::uint64_t cache_hits = 0;     ///< allocs served from a thread cache
+  std::uint64_t bytes_live = 0;     ///< requested bytes currently live
+  std::uint64_t peak_bytes_live = 0;  ///< high-water mark of bytes_live
+
+  // OOM events, split per policy outcome (the ISSUE's "per policy
+  // outcome" contract): every exhausted allocation lands in exactly one
+  // of died/returned_null/callback_recovered/callback_failed.
+  std::uint64_t oom_died = 0;           ///< kDie fired (counted pre-abort)
+  std::uint64_t oom_returned_null = 0;  ///< kNull, or kCallback gave up
+  std::uint64_t oom_callback_invocations = 0;  ///< callback calls, total
+  std::uint64_t oom_callback_recovered = 0;  ///< retries that then succeeded
+
+  /// The designed arena's accounting at snapshot time (footprint side).
+  sysmem::ArenaStats arena;
+};
+
+/// The live counters.  Mutation is relaxed-atomic and wait-free; reading
+/// happens through snapshot().
+class RuntimeTelemetry {
+ public:
+  void note_alloc(std::uint64_t requested, bool from_cache) {
+    alloc_count_.fetch_add(1, std::memory_order_relaxed);
+    if (from_cache) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    note_live_delta(static_cast<std::int64_t>(requested));
+  }
+
+  void note_free(std::uint64_t requested) {
+    free_count_.fetch_add(1, std::memory_order_relaxed);
+    note_live_delta(-static_cast<std::int64_t>(requested));
+  }
+
+  void note_realloc() {
+    realloc_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// In-place realloc: the pointer stays, only the requested size moves.
+  void note_resize(std::uint64_t old_requested, std::uint64_t new_requested) {
+    note_live_delta(static_cast<std::int64_t>(new_requested) -
+                    static_cast<std::int64_t>(old_requested));
+  }
+
+  void note_oom_died() {
+    oom_died_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_oom_null() {
+    oom_returned_null_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_oom_callback() {
+    oom_callback_invocations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_oom_recovered() {
+    oom_callback_recovered_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Counter half of a snapshot; the caller merges the arena stats (which
+  /// live with the arena, under the core lock).
+  [[nodiscard]] TelemetrySnapshot snapshot() const {
+    TelemetrySnapshot s;
+    s.alloc_count = alloc_count_.load(std::memory_order_relaxed);
+    s.free_count = free_count_.load(std::memory_order_relaxed);
+    s.realloc_count = realloc_count_.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    s.bytes_live = bytes_live_.load(std::memory_order_relaxed);
+    s.peak_bytes_live = peak_bytes_live_.load(std::memory_order_relaxed);
+    s.oom_died = oom_died_.load(std::memory_order_relaxed);
+    s.oom_returned_null =
+        oom_returned_null_.load(std::memory_order_relaxed);
+    s.oom_callback_invocations =
+        oom_callback_invocations_.load(std::memory_order_relaxed);
+    s.oom_callback_recovered =
+        oom_callback_recovered_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  void note_live_delta(std::int64_t delta) {
+    const std::uint64_t now =
+        bytes_live_.fetch_add(static_cast<std::uint64_t>(delta),
+                              std::memory_order_relaxed) +
+        static_cast<std::uint64_t>(delta);
+    // Lock-free high-water mark: racing updaters each raise the peak to at
+    // least their own observation; the max of all observations wins.
+    std::uint64_t peak = peak_bytes_live_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_bytes_live_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> alloc_count_{0};
+  std::atomic<std::uint64_t> free_count_{0};
+  std::atomic<std::uint64_t> realloc_count_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> bytes_live_{0};
+  std::atomic<std::uint64_t> peak_bytes_live_{0};
+  std::atomic<std::uint64_t> oom_died_{0};
+  std::atomic<std::uint64_t> oom_returned_null_{0};
+  std::atomic<std::uint64_t> oom_callback_invocations_{0};
+  std::atomic<std::uint64_t> oom_callback_recovered_{0};
+};
+
+}  // namespace dmm::runtime
+
+#endif  // DMM_RUNTIME_TELEMETRY_H

@@ -212,6 +212,7 @@ struct Server::Impl {
     while (s.phase_index < s.sub_traces.size() &&
            s.sub_traces[s.phase_index].empty()) {
       s.reply.phase_signatures.push_back(alloc::signature(s.opts.defaults));
+      s.reply.phase_configs.push_back(s.opts.defaults);
       ++s.phase_index;
     }
     if (s.phase_index >= s.sub_traces.size()) {
@@ -341,6 +342,7 @@ struct Server::Impl {
     if (s.family) {
       s.reply.feasible = r.feasible;
       s.reply.phase_signatures.push_back(alloc::signature(r.best));
+      s.reply.phase_configs.push_back(r.best);
       s.reply.best_peak = r.best_sim.peak_footprint;
       s.reply.aggregate_objective =
           core::candidate_objective(s.opts, r.best_sim, r.work_steps);
@@ -351,6 +353,7 @@ struct Server::Impl {
         s.reply.best_peak = r.best_sim.peak_footprint;
       }
       s.reply.phase_signatures.push_back(alloc::signature(r.best));
+      s.reply.phase_configs.push_back(r.best);
       if (s.request.validate) {
         open_validation(s);
       } else {

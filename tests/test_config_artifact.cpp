@@ -1,0 +1,168 @@
+// The design-to-deployment artifact (runtime/config_artifact.h): exact
+// round trips, and the all-or-nothing discipline over damaged files — a
+// config artifact decides the deployed pool layout, so nothing partial may
+// ever come out of one.
+
+#include "dmm/runtime/config_artifact.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dmm/alloc/config.h"
+#include "dmm/alloc/config_rules.h"
+
+namespace dmm::runtime {
+namespace {
+
+class ConfigArtifactTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("dmm_config_artifact_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+              ".dmmconfig"))
+                .string();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  [[nodiscard]] std::string read_file() const {
+    std::ifstream in(path_, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+  void write_file(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+};
+
+std::vector<alloc::DmmConfig> sample_configs() {
+  alloc::DmmConfig a = alloc::drr_paper_config();
+  alloc::DmmConfig b = alloc::minimal_config();
+  b.chunk_bytes = 4096;
+  b.big_request_bytes = 2048;
+  return {a, b};
+}
+
+TEST_F(ConfigArtifactTest, RoundTripPreservesEveryField) {
+  const std::vector<alloc::DmmConfig> configs = sample_configs();
+  const ConfigArtifactSaveResult saved = save_config_artifact(path_, configs);
+  ASSERT_TRUE(saved.saved) << saved.reason;
+
+  const ConfigArtifactLoadResult loaded = load_config_artifact(path_);
+  ASSERT_TRUE(loaded.loaded) << loaded.reason;
+  ASSERT_EQ(loaded.configs.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(loaded.configs[i], configs[i]) << "record " << i;
+  }
+}
+
+TEST_F(ConfigArtifactTest, FileSizeMatchesTheDocumentedLayout) {
+  const std::vector<alloc::DmmConfig> configs = sample_configs();
+  ASSERT_TRUE(save_config_artifact(path_, configs).saved);
+  EXPECT_EQ(read_file().size(), kConfigArtifactHeaderBytes +
+                                    configs.size() * kConfigRecordBytes +
+                                    kConfigArtifactChecksumBytes);
+}
+
+TEST_F(ConfigArtifactTest, SaveRejectsEmptyConfigList) {
+  const ConfigArtifactSaveResult saved = save_config_artifact(path_, {});
+  EXPECT_FALSE(saved.saved);
+  EXPECT_FALSE(std::filesystem::exists(path_)) << "nothing may be written";
+}
+
+TEST_F(ConfigArtifactTest, SaveRejectsUndeployableVector) {
+  // block_tags=none with recorded info is a hard rule violation — the
+  // manager synthesiser would abort on it, so the exporter must refuse.
+  alloc::DmmConfig bad;
+  bad.block_tags = alloc::BlockTags::kNone;
+  ASSERT_TRUE(alloc::unsupported_reason(bad).has_value());
+  const ConfigArtifactSaveResult saved = save_config_artifact(path_, {bad});
+  EXPECT_FALSE(saved.saved);
+  EXPECT_FALSE(std::filesystem::exists(path_));
+}
+
+TEST_F(ConfigArtifactTest, MissingFileLoadsNothing) {
+  const ConfigArtifactLoadResult loaded = load_config_artifact(path_);
+  EXPECT_FALSE(loaded.loaded);
+  EXPECT_TRUE(loaded.configs.empty());
+  EXPECT_FALSE(loaded.reason.empty());
+}
+
+TEST_F(ConfigArtifactTest, BadMagicRejectsTheWholeFile) {
+  ASSERT_TRUE(save_config_artifact(path_, sample_configs()).saved);
+  std::string bytes = read_file();
+  bytes[0] = 'X';
+  write_file(bytes);
+  const ConfigArtifactLoadResult loaded = load_config_artifact(path_);
+  EXPECT_FALSE(loaded.loaded);
+  EXPECT_TRUE(loaded.configs.empty());
+}
+
+TEST_F(ConfigArtifactTest, FutureVersionRejectsTheWholeFile) {
+  ASSERT_TRUE(save_config_artifact(path_, sample_configs()).saved);
+  std::string bytes = read_file();
+  bytes[8] = static_cast<char>(kConfigArtifactVersion + 1);
+  write_file(bytes);
+  EXPECT_FALSE(load_config_artifact(path_).loaded);
+}
+
+TEST_F(ConfigArtifactTest, TruncationAnywhereRejectsTheWholeFile) {
+  ASSERT_TRUE(save_config_artifact(path_, sample_configs()).saved);
+  const std::string bytes = read_file();
+  // Every proper prefix must be rejected — sampled densely enough to cover
+  // the header boundary, mid-record, and the checksum tail.
+  for (std::size_t keep = 0; keep < bytes.size();
+       keep += (keep < kConfigArtifactHeaderBytes ? 1 : 7)) {
+    write_file(bytes.substr(0, keep));
+    const ConfigArtifactLoadResult loaded = load_config_artifact(path_);
+    EXPECT_FALSE(loaded.loaded) << "prefix of " << keep << " bytes";
+    EXPECT_TRUE(loaded.configs.empty());
+  }
+}
+
+TEST_F(ConfigArtifactTest, AnySingleBitFlipRejectsTheWholeFile) {
+  ASSERT_TRUE(save_config_artifact(path_, {alloc::drr_paper_config()}).saved);
+  const std::string bytes = read_file();
+  for (std::size_t at = 0; at < bytes.size(); ++at) {
+    std::string mutated = bytes;
+    mutated[at] = static_cast<char>(mutated[at] ^ 0x01);
+    write_file(mutated);
+    const ConfigArtifactLoadResult loaded = load_config_artifact(path_);
+    EXPECT_FALSE(loaded.loaded) << "bit flip at byte " << at;
+    EXPECT_TRUE(loaded.configs.empty());
+  }
+}
+
+TEST_F(ConfigArtifactTest, CountDisagreeingWithSizeRejects) {
+  ASSERT_TRUE(save_config_artifact(path_, sample_configs()).saved);
+  std::string bytes = read_file();
+  bytes[12] = 5;  // count low byte: claims 5 records, carries 2
+  write_file(bytes);
+  EXPECT_FALSE(load_config_artifact(path_).loaded);
+}
+
+TEST_F(ConfigArtifactTest, SaveOverwritesAtomically) {
+  ASSERT_TRUE(save_config_artifact(path_, sample_configs()).saved);
+  const std::vector<alloc::DmmConfig> second = {alloc::minimal_config()};
+  ASSERT_TRUE(save_config_artifact(path_, second).saved);
+  const ConfigArtifactLoadResult loaded = load_config_artifact(path_);
+  ASSERT_TRUE(loaded.loaded) << loaded.reason;
+  ASSERT_EQ(loaded.configs.size(), 1u);
+  EXPECT_EQ(loaded.configs[0], second[0]);
+}
+
+}  // namespace
+}  // namespace dmm::runtime

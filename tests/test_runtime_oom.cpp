@@ -1,0 +1,209 @@
+// The runtime front's OOM policies (runtime/oom.h), driven both through
+// the fault-injection seam (inject_arena_exhaustion) and through a real
+// capacity-bounded arena.  One policy per contract: die aborts loudly,
+// null returns nullptr and leaves the allocator usable, callback gets a
+// release-and-retry loop.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "dmm/alloc/config.h"
+#include "dmm/runtime/designed_allocator.h"
+#include "dmm/runtime/oom.h"
+
+namespace dmm::runtime {
+namespace {
+
+/// Cache-off options: with thread caching enabled, slow_malloc flushes the
+/// cache and retries before the policy fires, consuming a second injected
+/// failure — cache-off makes "inject N" mean exactly N failing mallocs.
+RuntimeOptions no_cache_options(OomPolicy policy) {
+  RuntimeOptions opts;
+  opts.thread_cache_bytes = 0;
+  opts.oom_policy = policy;
+  return opts;
+}
+
+TEST(RuntimeOom, NullPolicyReturnsNullptrAndStaysUsable) {
+  DesignedAllocator a(alloc::drr_paper_config(),
+                      no_cache_options(OomPolicy::kNull));
+  a.inject_arena_exhaustion(1);
+  EXPECT_EQ(a.malloc(100), nullptr);
+
+  // The failure must be contained: the next call works, and the books
+  // balance.
+  void* p = a.malloc(100);
+  ASSERT_NE(p, nullptr);
+  a.free(p);
+  const TelemetrySnapshot t = a.telemetry();
+  EXPECT_EQ(t.oom_returned_null, 1u);
+  EXPECT_EQ(t.alloc_count, 1u) << "the failed call is not an allocation";
+  EXPECT_EQ(t.free_count, 1u);
+  EXPECT_EQ(t.bytes_live, 0u);
+}
+
+TEST(RuntimeOom, NullPolicyWithRealArenaExhaustion) {
+  // A genuinely tiny arena: allocate until it is full, expect nullptr
+  // (not an abort), then confirm freeing restores service.
+  RuntimeOptions opts = no_cache_options(OomPolicy::kNull);
+  opts.arena_capacity_bytes = 256 * 1024;
+  DesignedAllocator a(alloc::drr_paper_config(), opts);
+
+  std::vector<void*> live;
+  void* p = nullptr;
+  while ((p = a.malloc(4096)) != nullptr) {
+    live.push_back(p);
+    ASSERT_LT(live.size(), 1000u) << "capacity bound never hit";
+  }
+  EXPECT_GT(a.telemetry().oom_returned_null, 0u);
+  ASSERT_FALSE(live.empty());
+
+  // Release everything; the allocator must serve again.
+  for (void* q : live) a.free(q);
+  void* again = a.malloc(4096);
+  EXPECT_NE(again, nullptr);
+  a.free(again);
+}
+
+TEST(RuntimeOomDeathTest, DiePolicyAbortsWithTheFailedRequest) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  DesignedAllocator a(alloc::drr_paper_config(),
+                      no_cache_options(OomPolicy::kDie));
+  a.inject_arena_exhaustion(1);
+  EXPECT_DEATH(
+      { (void)a.malloc(12345); },
+      "out of memory allocating 12345 bytes");
+}
+
+TEST(RuntimeOomDeathTest, DoubleFreeAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // Cache-off so the second free is a wild pointer, not a cached block —
+  // both must abort, this pins the uncached path.
+  DesignedAllocator a(alloc::drr_paper_config(),
+                      no_cache_options(OomPolicy::kNull));
+  void* p = a.malloc(64);
+  ASSERT_NE(p, nullptr);
+  a.free(p);
+  EXPECT_DEATH({ a.free(p); }, "wild or double free");
+}
+
+TEST(RuntimeOomDeathTest, DoubleFreeOfACachedBlockAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  DesignedAllocator a(alloc::drr_paper_config());  // caches on
+  void* p = a.malloc(128);
+  ASSERT_NE(p, nullptr);
+  a.free(p);  // parks the block in the thread cache
+  EXPECT_DEATH({ a.free(p); }, "double free of a cached block");
+}
+
+TEST(RuntimeOom, CallbackReleasesAndRetries) {
+  // The release-and-retry contract on a real exhausted arena: the hoard
+  // holds the memory, the callback frees some of it, the retry succeeds.
+  RuntimeOptions opts = no_cache_options(OomPolicy::kCallback);
+  opts.arena_capacity_bytes = 256 * 1024;
+  DesignedAllocator* alloc_ptr = nullptr;
+  std::vector<void*> hoard;
+  opts.oom_callback = [&](std::size_t, unsigned) {
+    if (hoard.empty()) return false;
+    // Free a batch — one block may coalesce into too small a hole.
+    for (int i = 0; i < 8 && !hoard.empty(); ++i) {
+      alloc_ptr->free(hoard.back());
+      hoard.pop_back();
+    }
+    return true;
+  };
+  DesignedAllocator a(alloc::drr_paper_config(), opts);
+  alloc_ptr = &a;
+
+  while (true) {
+    void* p = a.malloc(4096);
+    ASSERT_NE(p, nullptr) << "callback had memory to release";
+    hoard.push_back(p);
+    if (a.telemetry().oom_callback_recovered > 0) break;
+    ASSERT_LT(hoard.size(), 1000u) << "capacity bound never hit";
+  }
+  const TelemetrySnapshot t = a.telemetry();
+  EXPECT_GT(t.oom_callback_invocations, 0u);
+  EXPECT_GT(t.oom_callback_recovered, 0u);
+  EXPECT_EQ(t.oom_returned_null, 0u) << "every exhaustion recovered";
+  for (void* p : hoard) a.free(p);
+}
+
+TEST(RuntimeOom, CallbackRetryLimitBoundsTheLoop) {
+  RuntimeOptions opts = no_cache_options(OomPolicy::kCallback);
+  opts.oom_retry_limit = 3;
+  unsigned calls = 0;
+  unsigned last_attempt = 0;
+  opts.oom_callback = [&](std::size_t bytes, unsigned attempt) {
+    EXPECT_EQ(bytes, 100u);
+    ++calls;
+    last_attempt = attempt;
+    return true;  // always "retry", never actually releases anything
+  };
+  DesignedAllocator a(alloc::drr_paper_config(), opts);
+  // Every retry's core_allocate must fail too: 1 initial + 3 retries.
+  a.inject_arena_exhaustion(4);
+  EXPECT_EQ(a.malloc(100), nullptr);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(last_attempt, 3u) << "attempt numbers the invocation, from 1";
+  const TelemetrySnapshot t = a.telemetry();
+  EXPECT_EQ(t.oom_callback_invocations, 3u);
+  EXPECT_EQ(t.oom_callback_recovered, 0u);
+  EXPECT_EQ(t.oom_returned_null, 1u) << "gave up as null after the limit";
+}
+
+TEST(RuntimeOom, CallbackDecliningStopsImmediately) {
+  RuntimeOptions opts = no_cache_options(OomPolicy::kCallback);
+  unsigned calls = 0;
+  opts.oom_callback = [&](std::size_t, unsigned) {
+    ++calls;
+    return false;  // nothing to release
+  };
+  DesignedAllocator a(alloc::drr_paper_config(), opts);
+  a.inject_arena_exhaustion(1);
+  EXPECT_EQ(a.malloc(100), nullptr);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(a.telemetry().oom_returned_null, 1u);
+}
+
+TEST(RuntimeOom, MissingCallbackActsAsNull) {
+  RuntimeOptions opts = no_cache_options(OomPolicy::kCallback);
+  // No callback installed: the policy degrades to null, never crashes.
+  DesignedAllocator a(alloc::drr_paper_config(), opts);
+  a.inject_arena_exhaustion(1);
+  EXPECT_EQ(a.malloc(100), nullptr);
+  EXPECT_EQ(a.telemetry().oom_returned_null, 1u);
+}
+
+TEST(RuntimeOom, CachedMemoryIsReclaimedBeforeThePolicyFires) {
+  // With caches ON and the arena truly full, the calling thread's cached
+  // blocks must flow back to the core before any OOM policy triggers.
+  RuntimeOptions opts;
+  opts.oom_policy = OomPolicy::kNull;
+  opts.arena_capacity_bytes = 256 * 1024;
+  DesignedAllocator a(alloc::drr_paper_config(), opts);
+
+  std::vector<void*> live;
+  void* p = nullptr;
+  while ((p = a.malloc(4096)) != nullptr) {
+    live.push_back(p);
+    ASSERT_LT(live.size(), 1000u);
+  }
+  // Free half — the blocks sit in the thread cache, the arena is still
+  // fully committed to the core's pools.
+  const std::size_t half = live.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) a.free(live[i]);
+  live.erase(live.begin(),
+             live.begin() + static_cast<std::ptrdiff_t>(half));
+
+  // This allocation can only succeed if the cache is reclaimed first.
+  void* q = a.malloc(4096);
+  EXPECT_NE(q, nullptr) << "cache reclaim must precede the OOM policy";
+  a.free(q);
+  for (void* r : live) a.free(r);
+}
+
+}  // namespace
+}  // namespace dmm::runtime

@@ -11,8 +11,12 @@ about; this linter makes them machine-checked:
                   the consult bookkeeping that incremental replay
                   (src/core/checkpoint.cpp) depends on.  Writes (building a
                   config) are always fine; a short whitelist covers the
-                  canonical/hash/validation/divergence code that must
-                  compare fields wholesale.
+                  canonical/hash/validation/divergence/serialization code
+                  that must compare or dump fields wholesale.  The rule
+                  binds in the deployable runtime front (src/runtime/) with
+                  the same strictness as in src/alloc/: the front wraps the
+                  policy core, so a raw knob consult there would bypass the
+                  same bookkeeping.
 
   nondet          No wall-clock or global-RNG nondeterminism sources in
                   result-affecting code: rand/srand, std::random_device,
@@ -84,6 +88,10 @@ KNOB_WHITELIST = (
     "src/core/design_space.cpp",
     "src/core/checkpoint.cpp",
     "src/core/cache_snapshot.cpp",
+    # Config serializers: the wire/artifact encoders dump every field as
+    # plain data, never consult one on an allocation path.
+    "src/api/design_api.cpp",
+    "src/runtime/config_artifact.cpp",
 )
 
 RAW_PARSE_WHITELIST = ("src/core/search.cpp",)
@@ -295,8 +303,12 @@ def lint_files(root, paths, scoped=True):
             in_scope = (rel.startswith("src/") or
                         rel.startswith("tools/dmm_capture/"))
             if (not rel.startswith("tests/") and rel not in KNOB_WHITELIST):
+                # src/runtime/ wraps the policy core for deployment, so the
+                # fit/order knob discipline binds there like in src/alloc/.
                 checks.append(check_raw_knob_read(
-                    rel, clean_lines, in_alloc=rel.startswith("src/alloc/")))
+                    rel, clean_lines,
+                    in_alloc=(rel.startswith("src/alloc/") or
+                              rel.startswith("src/runtime/"))))
             if in_scope:
                 checks.append(check_nondet(rel, clean_lines))
                 checks.append(check_unordered_iter(rel, clean_lines,
